@@ -1,0 +1,231 @@
+// Package main holds the benchmark harness that regenerates the paper's
+// evaluation: one benchmark per Table 1 row (bend counts and runtime for the
+// manual baseline and the P-ILP flow at both area settings), benchmarks for
+// the two Figure 11 RF-performance comparisons, a Figure 7 phase-snapshot
+// benchmark and ablation benchmarks for the design choices called out in
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem -benchtime=1x
+//
+// Reported custom metrics: bends_total, bends_max, drc_violations,
+// unmatched_strips and gain_dB where applicable. Benchmarks are ordered from
+// cheap to expensive; the Figure 7/11 benchmarks reuse the P-ILP layout
+// computed by the corresponding Table 1 benchmark (the flow is deterministic),
+// so the expensive flow runs once per circuit/area.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rficlayout/internal/circuits"
+	"rficlayout/internal/emsim"
+	"rficlayout/internal/layout"
+	"rficlayout/internal/manual"
+	"rficlayout/internal/netlist"
+	"rficlayout/internal/pilp"
+	"rficlayout/internal/report"
+)
+
+// benchPILPOptions keeps the per-strip solves short so the whole table can be
+// regenerated in a single benchmark run; raise the limits (cmd/rficbench
+// -strip-time) for higher-quality layouts.
+func benchPILPOptions() pilp.Options {
+	return pilp.Options{
+		ChainPoints:         4,
+		MaxChainPoints:      6,
+		StripTimeLimit:      700 * time.Millisecond,
+		PhaseTimeLimit:      8 * time.Second,
+		MaxRefineIterations: 1,
+	}
+}
+
+var (
+	pilpCacheMu sync.Mutex
+	pilpCache   = map[string]*pilp.Result{}
+)
+
+// generatePILP runs the progressive flow, memoizing the result per
+// circuit/area so that the Figure 7/11 benchmarks do not repeat the Table 1
+// work.
+func generatePILP(b *testing.B, name string, smallArea bool) *pilp.Result {
+	b.Helper()
+	key := fmt.Sprintf("%s/small=%v", name, smallArea)
+	pilpCacheMu.Lock()
+	cached := pilpCache[key]
+	pilpCacheMu.Unlock()
+	if cached != nil {
+		return cached
+	}
+	res, err := pilp.Generate(table1Circuit(b, name, smallArea), benchPILPOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pilpCacheMu.Lock()
+	pilpCache[key] = res
+	pilpCacheMu.Unlock()
+	return res
+}
+
+func reportLayoutMetrics(b *testing.B, prefix string, l *layout.Layout) {
+	m := l.Metrics()
+	b.ReportMetric(float64(m.TotalBends), prefix+"_bends_total")
+	b.ReportMetric(float64(m.MaxBends), prefix+"_bends_max")
+	b.ReportMetric(float64(len(l.Check(layout.CheckOptions{PinTolerance: 2}))), prefix+"_drc_violations")
+	b.ReportMetric(float64(report.UnmatchedStrips(l, 10)), prefix+"_unmatched_strips")
+}
+
+func table1Circuit(b *testing.B, name string, smallArea bool) *netlist.Circuit {
+	b.Helper()
+	spec, err := circuits.BySpecName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if smallArea {
+		return circuits.BuildSmallArea(spec)
+	}
+	return circuits.Build(spec)
+}
+
+// BenchmarkConstructOnly measures the constructive warm start alone, the
+// baseline every ILP phase builds on.
+func BenchmarkConstructOnly(b *testing.B) {
+	circuit := table1Circuit(b, "lna94", false)
+	for i := 0; i < b.N; i++ {
+		l, err := pilp.Construct(circuit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportLayoutMetrics(b, "construct", l)
+		}
+	}
+}
+
+// BenchmarkManualBaseline measures the emulated manual flow alone (the
+// "Manual" column of Table 1 for the 94 GHz LNA).
+func BenchmarkManualBaseline(b *testing.B) {
+	circuit := table1Circuit(b, "lna94", false)
+	for i := 0; i < b.N; i++ {
+		l, err := manual.Generate(circuit, manual.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportLayoutMetrics(b, "manual", l)
+		}
+	}
+}
+
+// benchTable1 runs one Table 1 cell: the manual baseline and the P-ILP flow
+// on the given circuit/area.
+func benchTable1(b *testing.B, name string, smallArea bool) {
+	circuit := table1Circuit(b, name, smallArea)
+	for i := 0; i < b.N; i++ {
+		manualLayout, err := manual.Generate(circuit, manual.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := generatePILP(b, name, smallArea)
+		if i == b.N-1 {
+			reportLayoutMetrics(b, "manual", manualLayout)
+			reportLayoutMetrics(b, "pilp", res.Layout)
+			b.ReportMetric(res.Runtime.Seconds(), "pilp_runtime_s")
+		}
+	}
+}
+
+// Table 1, row "60 GHz Buffer", area 595×850 and 505×720.
+func BenchmarkTable1Buffer60AreaA(b *testing.B) { benchTable1(b, "buffer60", false) }
+func BenchmarkTable1Buffer60AreaB(b *testing.B) { benchTable1(b, "buffer60", true) }
+
+// Table 1, row "60 GHz LNA", area 600×855 and 570×810.
+func BenchmarkTable1LNA60AreaA(b *testing.B) { benchTable1(b, "lna60", false) }
+func BenchmarkTable1LNA60AreaB(b *testing.B) { benchTable1(b, "lna60", true) }
+
+// Table 1, row "94 GHz LNA", area 890×615 and 845×580.
+func BenchmarkTable1LNA94AreaA(b *testing.B) { benchTable1(b, "lna94", false) }
+func BenchmarkTable1LNA94AreaB(b *testing.B) { benchTable1(b, "lna94", true) }
+
+// BenchmarkFigure7Phases regenerates the phase snapshots of Figure 7 on the
+// 94 GHz LNA and reports the bend count after each phase.
+func BenchmarkFigure7Phases(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := generatePILP(b, "lna94", false)
+		if i == b.N-1 {
+			for p, snap := range res.Snapshots {
+				b.ReportMetric(float64(snap.Metrics.TotalBends), fmt.Sprintf("phase%d_bends", p+1))
+				b.ReportMetric(float64(snap.Violations), fmt.Sprintf("phase%d_violations", p+1))
+			}
+		}
+	}
+}
+
+// benchFigure11 compares the RF performance of the manual and P-ILP layouts
+// of one circuit, reporting the S21 gain at the operating frequency
+// (Figure 11a: 94 GHz LNA, Figure 11b: 60 GHz buffer).
+func benchFigure11(b *testing.B, name string) {
+	spec, err := circuits.BySpecName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	circuit := circuits.Build(spec)
+	for i := 0; i < b.N; i++ {
+		manualLayout, err := manual.Generate(circuit, manual.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := generatePILP(b, name, false)
+		freqs := emsim.Sweep(spec.Frequency, 41)
+		manualRF := emsim.SimulateLayout(manualLayout, freqs, spec.Frequency)
+		pilpRF := emsim.SimulateLayout(res.Layout, freqs, spec.Frequency)
+		if i == b.N-1 {
+			b.ReportMetric(emsim.GainAt(manualRF, spec.Frequency), "manual_gain_dB")
+			b.ReportMetric(emsim.GainAt(pilpRF, spec.Frequency), "pilp_gain_dB")
+		}
+	}
+}
+
+func BenchmarkFigure11LNA(b *testing.B)    { benchFigure11(b, "lna94") }
+func BenchmarkFigure11Buffer(b *testing.B) { benchFigure11(b, "buffer60") }
+
+// BenchmarkAblationNoRefinement measures the effect of dropping phase 3
+// (chain-point deletion/insertion and rotation), one of the design choices
+// DESIGN.md calls out: it compares the phase-2 snapshot with the final layout
+// of the cached buffer60 run.
+func BenchmarkAblationNoRefinement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := generatePILP(b, "buffer60", false)
+		if i == b.N-1 {
+			phase2 := res.Snapshots[1]
+			b.ReportMetric(float64(phase2.Metrics.TotalBends), "phase2_bends")
+			b.ReportMetric(float64(phase2.Violations), "phase2_violations")
+			b.ReportMetric(float64(res.Layout.Metrics().TotalBends), "final_bends")
+			b.ReportMetric(float64(len(res.Layout.Check(layout.CheckOptions{PinTolerance: 2}))), "final_violations")
+		}
+	}
+}
+
+// BenchmarkAblationChainPoints sweeps the fixed chain-point count of the
+// per-strip models, the main model-size lever of Section 5.1.
+func BenchmarkAblationChainPoints(b *testing.B) {
+	circuit := table1Circuit(b, "buffer60", false)
+	for _, n := range []int{3, 6} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := benchPILPOptions()
+				opts.ChainPoints = n
+				opts.MaxChainPoints = n
+				res, err := pilp.Generate(circuit, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					reportLayoutMetrics(b, "pilp", res.Layout)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,147 @@
+// Command rficbench regenerates the paper's evaluation artifacts: the Table 1
+// comparison of manual vs. P-ILP layouts, the Figure 7 phase snapshots (as
+// SVG files) and the Figure 11 S-parameter sweeps.
+//
+// Usage:
+//
+//	rficbench -table1
+//	rficbench -figure7 -outdir out/
+//	rficbench -figure11a
+//	rficbench -figure11b
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rficlayout/internal/circuits"
+	"rficlayout/internal/emsim"
+	"rficlayout/internal/layout"
+	"rficlayout/internal/manual"
+	"rficlayout/internal/netlist"
+	"rficlayout/internal/pilp"
+	"rficlayout/internal/report"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "regenerate Table 1")
+	figure7 := flag.Bool("figure7", false, "regenerate the Figure 7 phase snapshots (SVG)")
+	figure11a := flag.Bool("figure11a", false, "regenerate Figure 11(a): 94 GHz LNA S-parameters")
+	figure11b := flag.Bool("figure11b", false, "regenerate Figure 11(b): 60 GHz buffer S-parameters")
+	outDir := flag.String("outdir", ".", "directory for SVG output")
+	stripTime := flag.Duration("strip-time", 2*time.Second, "time limit per per-strip ILP solve")
+	flag.Parse()
+
+	opts := pilp.Options{StripTimeLimit: *stripTime, MaxRefineIterations: 2}
+
+	if *table1 {
+		runTable1(opts)
+	}
+	if *figure7 {
+		runFigure7(opts, *outDir)
+	}
+	if *figure11a {
+		runFigure11("lna94", opts)
+	}
+	if *figure11b {
+		runFigure11("buffer60", opts)
+	}
+	if !*table1 && !*figure7 && !*figure11a && !*figure11b {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -figure7, -figure11a or -figure11b")
+		os.Exit(2)
+	}
+}
+
+func buildCircuit(spec circuits.Spec, small bool) *netlist.Circuit {
+	if small {
+		return circuits.BuildSmallArea(spec)
+	}
+	return circuits.Build(spec)
+}
+
+func runTable1(opts pilp.Options) {
+	var rows []report.Table1Row
+	for _, spec := range circuits.Table1() {
+		for _, small := range []bool{false, true} {
+			c := buildCircuit(spec, small)
+			row := report.Table1Row{
+				Circuit:     spec.Name,
+				Microstrips: len(c.Microstrips),
+				Devices:     len(c.Devices),
+				AreaWidth:   c.AreaWidth,
+				AreaHeight:  c.AreaHeight,
+			}
+			if !small {
+				start := time.Now()
+				ml, err := manual.Generate(c, manual.Options{})
+				if err == nil {
+					m := ml.Metrics()
+					row.ManualAvailable = true
+					row.ManualMaxBends = m.MaxBends
+					row.ManualTotalBends = m.TotalBends
+					row.ManualRuntime = time.Since(start)
+				}
+			}
+			start := time.Now()
+			res, err := pilp.Generate(c, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rficbench: %s: %v\n", spec.Name, err)
+				continue
+			}
+			m := res.Layout.Metrics()
+			row.PILPMaxBends = m.MaxBends
+			row.PILPTotalBends = m.TotalBends
+			row.PILPRuntime = time.Since(start)
+			row.PILPUnmatched = report.UnmatchedStrips(res.Layout, 10)
+			rows = append(rows, row)
+		}
+	}
+	fmt.Print(report.FormatTable1(rows))
+}
+
+func runFigure7(opts pilp.Options, outDir string) {
+	spec, _ := circuits.BySpecName("lna94")
+	c := circuits.Build(spec)
+	res, err := pilp.Generate(c, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rficbench:", err)
+		os.Exit(1)
+	}
+	for i, snap := range res.Snapshots {
+		path := filepath.Join(outDir, fmt.Sprintf("figure7_%d_%s.svg", i+1, snap.Phase))
+		if err := layout.SaveSVG(path, snap.Layout, layout.SVGOptions{ShowLabels: true, Title: snap.Phase}); err != nil {
+			fmt.Fprintln(os.Stderr, "rficbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %s (violations %d) → %s\n", snap.Phase, snap.Metrics, snap.Violations, path)
+	}
+}
+
+func runFigure11(name string, opts pilp.Options) {
+	spec, err := circuits.BySpecName(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rficbench:", err)
+		os.Exit(1)
+	}
+	c := circuits.Build(spec)
+	ml, err := manual.Generate(c, manual.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rficbench:", err)
+		os.Exit(1)
+	}
+	res, err := pilp.Generate(c, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rficbench:", err)
+		os.Exit(1)
+	}
+	freqs := emsim.Sweep(spec.Frequency, 51)
+	manualRF := emsim.SimulateLayout(ml, freqs, spec.Frequency)
+	pilpRF := emsim.SimulateLayout(res.Layout, freqs, spec.Frequency)
+	fmt.Print(report.FormatSweep(fmt.Sprintf("%s manual layout", spec.Name), manualRF))
+	fmt.Print(report.FormatSweep(fmt.Sprintf("%s P-ILP layout", spec.Name), pilpRF))
+	fmt.Printf("# gain at %.0f GHz: manual %.3f dB, P-ILP %.3f dB\n",
+		spec.Frequency, emsim.GainAt(manualRF, spec.Frequency), emsim.GainAt(pilpRF, spec.Frequency))
+}

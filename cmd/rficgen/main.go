@@ -1,0 +1,86 @@
+// Command rficgen runs the progressive ILP-based layout flow on a circuit
+// file and writes the resulting layout, an SVG rendering and a quality
+// report.
+//
+// Usage:
+//
+//	rficgen -circuit lna.rfic -out lna.rlay -svg lna.svg
+//	rficgen -benchmark lna94 -svg lna94.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rficlayout/internal/circuits"
+	"rficlayout/internal/layout"
+	"rficlayout/internal/netlist"
+	"rficlayout/internal/pilp"
+	"rficlayout/internal/report"
+)
+
+func main() {
+	circuitPath := flag.String("circuit", "", "circuit file to lay out")
+	benchmark := flag.String("benchmark", "", "built-in benchmark circuit (lna94, buffer60, lna60) instead of -circuit")
+	smallArea := flag.Bool("small-area", false, "use the smaller stress-test area of the benchmark circuit")
+	outPath := flag.String("out", "", "write the layout file here")
+	svgPath := flag.String("svg", "", "write an SVG rendering here")
+	stripTime := flag.Duration("strip-time", 3*time.Second, "time limit per per-strip ILP solve")
+	verbose := flag.Bool("v", false, "log solver progress")
+	flag.Parse()
+
+	var circuit *netlist.Circuit
+	switch {
+	case *benchmark != "":
+		spec, err := circuits.BySpecName(*benchmark)
+		if err != nil {
+			fatal(err)
+		}
+		if *smallArea {
+			circuit = circuits.BuildSmallArea(spec)
+		} else {
+			circuit = circuits.Build(spec)
+		}
+	case *circuitPath != "":
+		c, err := netlist.ParseFile(*circuitPath)
+		if err != nil {
+			fatal(err)
+		}
+		circuit = c
+	default:
+		fatal(fmt.Errorf("either -circuit or -benchmark is required"))
+	}
+
+	opts := pilp.Options{StripTimeLimit: *stripTime}
+	if *verbose {
+		opts.Logf = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	start := time.Now()
+	res, err := pilp.Generate(circuit, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(report.LayoutSummary(circuit.Name, res.Layout, time.Since(start)))
+	for _, v := range res.Violations() {
+		fmt.Printf("  violation: %v\n", v)
+	}
+	if *outPath != "" {
+		if err := layout.WriteFile(*outPath, res.Layout); err != nil {
+			fatal(err)
+		}
+	}
+	if *svgPath != "" {
+		if err := layout.SaveSVG(*svgPath, res.Layout, layout.SVGOptions{ShowLabels: true, Title: circuit.Name}); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rficgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Command rficlayout-bench is a thin wrapper so the repository root builds as
+// a package; the actual experiment harness lives in bench_test.go (run with
+// "go test -bench=.") and in cmd/rficbench. Running this binary just points
+// at those entry points.
+package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("rficlayout: run 'go test -bench=. -benchmem' for the experiment harness,")
+	fmt.Println("or use the tools under cmd/ (rficgen, rficbench).")
+}

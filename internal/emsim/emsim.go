@@ -1,0 +1,182 @@
+// Package emsim is the RF-simulation substrate that stands in for the
+// Agilent ADS full-wave simulations of Figure 11. It models the routed layout
+// as a cascade of two-ports: quasi-TEM thin-film microstrip lines whose
+// electrical length and loss come from the *routed* geometry (equivalent
+// length and bend count), lossy bend discontinuities, and small-signal gain
+// stages for the transistors. The absolute numbers are not ADS-accurate, but
+// the layout-dependent effects the paper evaluates — gain loss per extra
+// bend and detuning from length mismatch — are captured, so the relative
+// comparison of manual vs. P-ILP layouts is preserved.
+package emsim
+
+import (
+	"math"
+	"math/cmplx"
+
+	"rficlayout/internal/geom"
+	"rficlayout/internal/layout"
+	"rficlayout/internal/netlist"
+)
+
+// TwoPort is an ABCD-parameter two-port network.
+type TwoPort struct {
+	A, B, C, D complex128
+}
+
+// Identity returns the pass-through two-port.
+func Identity() TwoPort { return TwoPort{A: 1, D: 1} }
+
+// Cascade multiplies two ABCD matrices (t followed by u).
+func (t TwoPort) Cascade(u TwoPort) TwoPort {
+	return TwoPort{
+		A: t.A*u.A + t.B*u.C,
+		B: t.A*u.B + t.B*u.D,
+		C: t.C*u.A + t.D*u.C,
+		D: t.C*u.B + t.D*u.D,
+	}
+}
+
+// SParams converts the ABCD matrix to S-parameters in a Z0 reference system.
+func (t TwoPort) SParams(z0 float64) (s11, s21, s12, s22 complex128) {
+	z := complex(z0, 0)
+	den := t.A + t.B/z + t.C*z + t.D
+	s11 = (t.A + t.B/z - t.C*z - t.D) / den
+	s21 = 2 / den
+	s12 = 2 * (t.A*t.D - t.B*t.C) / den
+	s22 = (-t.A + t.B/z - t.C*z + t.D) / den
+	return
+}
+
+// Technology-level microstrip parameters of the thin-film stack (Figure 1a).
+const (
+	// characteristicImpedance of the 10 µm wide thin-film microstrip (Ω).
+	characteristicImpedance = 50.0
+	// effectivePermittivity of the SiO2 stack.
+	effectivePermittivity = 3.9
+	// lossDBPerMMPerGHz is the conductor+dielectric loss slope.
+	lossDBPerMMPerGHz = 0.011
+	// bendLossDB is the residual loss of one smoothed 90° bend.
+	bendLossDB = 0.055
+	// stageGainDB is the small-signal gain of one transistor stage at its
+	// design bias.
+	stageGainDB = 7.4
+)
+
+// Line returns the ABCD two-port of a lossy transmission line of the given
+// equivalent length (nm) at frequency f (GHz).
+func Line(equivalentLength geom.Coord, freqGHz float64) TwoPort {
+	lengthM := geom.Microns(equivalentLength) * 1e-6
+	lambda := 299792458.0 / (freqGHz * 1e9) / math.Sqrt(effectivePermittivity)
+	beta := 2 * math.Pi / lambda
+	lossDB := lossDBPerMMPerGHz * (geom.Microns(equivalentLength) / 1000) * freqGHz
+	alpha := lossDB / 8.686 / lengthM // Np per metre
+	gamma := complex(alpha*lengthM, beta*lengthM)
+	z0 := complex(characteristicImpedance, 0)
+	return TwoPort{
+		A: cmplx.Cosh(gamma),
+		B: z0 * cmplx.Sinh(gamma),
+		C: cmplx.Sinh(gamma) / z0,
+		D: cmplx.Cosh(gamma),
+	}
+}
+
+// Bends returns the two-port of n smoothed bends: a small extra loss and a
+// small series phase perturbation per bend.
+func Bends(n int, freqGHz float64) TwoPort {
+	if n <= 0 {
+		return Identity()
+	}
+	loss := math.Pow(10, -float64(n)*bendLossDB/20)
+	phase := 0.015 * float64(n) * freqGHz / 60
+	g := complex(loss*math.Cos(phase), -loss*math.Sin(phase))
+	// Model as a slightly lossy, slightly dispersive attenuator.
+	return TwoPort{A: 1 / g, D: 1} // attenuation of S21 by g
+}
+
+// Stage returns the two-port of one transistor gain stage.
+func Stage(freqGHz, centerGHz float64) TwoPort {
+	// Gain rolls off away from the design frequency.
+	rolloff := 1 / (1 + math.Pow((freqGHz-centerGHz)/(0.35*centerGHz), 2))
+	gain := math.Pow(10, stageGainDB/20) * rolloff
+	if gain < 0.05 {
+		gain = 0.05
+	}
+	return TwoPort{A: complex(1/gain, 0), D: 1}
+}
+
+// Result is one frequency point of a sweep.
+type Result struct {
+	FreqGHz             float64
+	S11dB, S21dB, S22dB float64
+}
+
+// SimulateLayout sweeps the RF path of a routed layout from the input pad to
+// the output pad: every chain microstrip contributes a line two-port built
+// from its *routed* equivalent length and bend count, every transistor on the
+// path contributes a gain stage, and residual length mismatch contributes an
+// additional detuning stub.
+func SimulateLayout(l *layout.Layout, freqsGHz []float64, centerGHz float64) []Result {
+	c := l.Circuit
+	delta := c.Tech.BendCompensation
+	out := make([]Result, 0, len(freqsGHz))
+	for _, f := range freqsGHz {
+		net := Identity()
+		for _, rs := range l.RoutedStrips() {
+			net = net.Cascade(Line(rs.EquivalentLength(delta), f))
+			net = net.Cascade(Bends(rs.Bends(), f))
+			// Length mismatch against the circuit target detunes the
+			// matching network: model it as an extra (unwanted) line.
+			if mismatch := rs.LengthError(delta); mismatch != 0 {
+				net = net.Cascade(Line(geom.AbsCoord(mismatch)*3, f))
+			}
+			// A gain stage follows every strip that ends on a transistor
+			// input.
+			if d, err := c.Device(rs.Strip.To.Device); err == nil && d.Type == netlist.Transistor && rs.Strip.To.Pin == "in" {
+				net = net.Cascade(Stage(f, centerGHz))
+			}
+		}
+		s11, s21, _, s22 := net.SParams(characteristicImpedance)
+		out = append(out, Result{
+			FreqGHz: f,
+			S11dB:   db(s11),
+			S21dB:   db(s21),
+			S22dB:   db(s22),
+		})
+	}
+	return out
+}
+
+// GainAt returns the S21 value at the frequency closest to f.
+func GainAt(results []Result, f float64) float64 {
+	best := math.Inf(1)
+	gain := math.NaN()
+	for _, r := range results {
+		if d := math.Abs(r.FreqGHz - f); d < best {
+			best = d
+			gain = r.S21dB
+		}
+	}
+	return gain
+}
+
+// Sweep returns n evenly spaced frequencies covering ±25% around the centre.
+func Sweep(centerGHz float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	lo := centerGHz * 0.75
+	hi := centerGHz * 1.25
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+func db(v complex128) float64 {
+	m := cmplx.Abs(v)
+	if m <= 0 {
+		return -200
+	}
+	return 20 * math.Log10(m)
+}

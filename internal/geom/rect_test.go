@@ -1,0 +1,289 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNormalizesCorners(t *testing.T) {
+	r := R(10, 20, -5, 3)
+	if !r.Min.Eq(Pt(-5, 3)) || !r.Max.Eq(Pt(10, 20)) {
+		t.Errorf("R did not normalise: %v", r)
+	}
+	if !r.Valid() {
+		t.Error("normalised rect not valid")
+	}
+}
+
+func TestRectBasicProps(t *testing.T) {
+	r := R(0, 0, 10, 4)
+	if r.Width() != 10 || r.Height() != 4 {
+		t.Errorf("dims = %d x %d", r.Width(), r.Height())
+	}
+	if r.Area() != 40 {
+		t.Errorf("area = %d", r.Area())
+	}
+	if !r.Center().Eq(Pt(5, 2)) {
+		t.Errorf("center = %v", r.Center())
+	}
+	if r.Empty() {
+		t.Error("non-empty rect reported empty")
+	}
+	if !R(3, 3, 3, 8).Empty() {
+		t.Error("zero-width rect should be empty")
+	}
+}
+
+func TestRectFromCenter(t *testing.T) {
+	r := RectFromCenter(Pt(100, 100), 20, 10)
+	if r.Width() != 20 || r.Height() != 10 {
+		t.Errorf("dims = %d x %d", r.Width(), r.Height())
+	}
+	if !r.Center().Eq(Pt(100, 100)) {
+		t.Errorf("center = %v", r.Center())
+	}
+	// Odd dimensions still produce the requested size.
+	r = RectFromCenter(Pt(0, 0), 7, 3)
+	if r.Width() != 7 || r.Height() != 3 {
+		t.Errorf("odd dims = %d x %d", r.Width(), r.Height())
+	}
+}
+
+func TestRectTranslate(t *testing.T) {
+	r := R(0, 0, 2, 2).Translate(Pt(5, -1))
+	if !r.Eq(R(5, -1, 7, 1)) {
+		t.Errorf("translate = %v", r)
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := R(10, 10, 20, 20)
+	e := r.Expand(5)
+	if !e.Eq(R(5, 5, 25, 25)) {
+		t.Errorf("expand = %v", e)
+	}
+	// Shrinking past degeneracy collapses to the centre but stays valid.
+	s := R(0, 0, 4, 4).Expand(-10)
+	if !s.Valid() {
+		t.Errorf("over-shrunk rect invalid: %v", s)
+	}
+	if !s.Empty() {
+		t.Errorf("over-shrunk rect should be empty: %v", s)
+	}
+	xy := r.ExpandXY(1, 2)
+	if !xy.Eq(R(9, 8, 21, 22)) {
+		t.Errorf("ExpandXY = %v", xy)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	if !r.ContainsPoint(Pt(0, 0)) || !r.ContainsPoint(Pt(10, 10)) || !r.ContainsPoint(Pt(5, 5)) {
+		t.Error("ContainsPoint border/interior failed")
+	}
+	if r.ContainsPoint(Pt(11, 5)) || r.ContainsPoint(Pt(5, -1)) {
+		t.Error("ContainsPoint exterior failed")
+	}
+	if !r.ContainsRect(R(2, 2, 8, 8)) || !r.ContainsRect(r) {
+		t.Error("ContainsRect failed")
+	}
+	if r.ContainsRect(R(2, 2, 11, 8)) {
+		t.Error("ContainsRect accepted protruding rect")
+	}
+}
+
+func TestRectOverlap(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	b := R(5, 5, 15, 15)
+	c := R(10, 0, 20, 10)  // touches a at x=10
+	d := R(20, 20, 30, 30) // disjoint
+
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("overlapping rects reported disjoint")
+	}
+	if a.Overlaps(c) {
+		t.Error("touching rects should not count as overlapping")
+	}
+	if a.Overlaps(d) {
+		t.Error("disjoint rects reported overlapping")
+	}
+	if got := a.OverlapArea(b); got != 25 {
+		t.Errorf("overlap area = %d, want 25", got)
+	}
+	if got := a.OverlapArea(d); got != 0 {
+		t.Errorf("disjoint overlap area = %d, want 0", got)
+	}
+	dh, dv := a.OverlapDims(b)
+	if dh != 5 || dv != 5 {
+		t.Errorf("overlap dims = %d,%d", dh, dv)
+	}
+	dh, dv = a.OverlapDims(d)
+	if dh != 0 || dv != 0 {
+		t.Errorf("disjoint overlap dims = %d,%d", dh, dv)
+	}
+}
+
+func TestRectIntersectUnion(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	b := R(5, 5, 15, 15)
+	if got := a.Intersect(b); !got.Eq(R(5, 5, 10, 10)) {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := a.Union(b); !got.Eq(R(0, 0, 15, 15)) {
+		t.Errorf("union = %v", got)
+	}
+	disjoint := a.Intersect(R(20, 20, 30, 30))
+	if !disjoint.Empty() || !disjoint.Valid() {
+		t.Errorf("disjoint intersect = %v", disjoint)
+	}
+}
+
+func TestRectDistance(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	if got := a.Distance(R(15, 0, 20, 10)); got != 5 {
+		t.Errorf("horizontal gap = %d, want 5", got)
+	}
+	if got := a.Distance(R(0, 17, 10, 20)); got != 7 {
+		t.Errorf("vertical gap = %d, want 7", got)
+	}
+	if got := a.Distance(R(5, 5, 15, 15)); got != 0 {
+		t.Errorf("overlapping distance = %d, want 0", got)
+	}
+	if got := a.Distance(R(13, 14, 20, 20)); got != 4 {
+		t.Errorf("diagonal distance = %d, want 4 (max of gaps)", got)
+	}
+	if got := a.ManhattanGap(R(13, 14, 20, 20)); got != 7 {
+		t.Errorf("manhattan gap = %d, want 7", got)
+	}
+}
+
+func TestSpacingViaExpandedBoxes(t *testing.T) {
+	// The paper's rule: expanding each shape by t and requiring non-overlap
+	// of the expanded boxes enforces a spacing of 2t between the shapes.
+	const tDist = 5000 // 5 µm
+	a := R(0, 0, 10000, 10000)
+	farEnough := R(20000, 0, 30000, 10000) // gap 10000 = 2t
+	tooClose := R(19999, 0, 30000, 10000)  // gap 9999 < 2t
+	if a.Expand(tDist).Overlaps(farEnough.Expand(tDist)) {
+		t.Error("boxes exactly 2t apart must not violate the expanded-box rule")
+	}
+	if !a.Expand(tDist).Overlaps(tooClose.Expand(tDist)) {
+		t.Error("boxes closer than 2t must violate the expanded-box rule")
+	}
+}
+
+func TestRectRotateAbout(t *testing.T) {
+	r := R(0, 0, 10, 4)
+	rot := r.RotateAbout(Pt(0, 0), R90)
+	if rot.Width() != 4 || rot.Height() != 10 {
+		t.Errorf("rotated dims = %d x %d", rot.Width(), rot.Height())
+	}
+	if !r.RotateAbout(Pt(5, 2), R180).Eq(r) {
+		t.Error("180° rotation about centre should map the rect onto itself")
+	}
+}
+
+func TestBoundingRectAndUnionAll(t *testing.T) {
+	r := BoundingRect(Pt(3, 5), Pt(-1, 2), Pt(10, -4))
+	if !r.Eq(R(-1, -4, 10, 5)) {
+		t.Errorf("BoundingRect = %v", r)
+	}
+	u := UnionAll(R(0, 0, 1, 1), R(5, 5, 6, 6), R(-2, 0, 0, 3))
+	if !u.Eq(R(-2, 0, 6, 6)) {
+		t.Errorf("UnionAll = %v", u)
+	}
+}
+
+func TestBoundingRectPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BoundingRect() should panic with no points")
+		}
+	}()
+	BoundingRect()
+}
+
+func TestUnionAllPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("UnionAll() should panic with no rects")
+		}
+	}()
+	UnionAll()
+}
+
+func TestRectCorners(t *testing.T) {
+	c := R(0, 0, 4, 2).Corners()
+	want := [4]Point{Pt(0, 0), Pt(4, 0), Pt(4, 2), Pt(0, 2)}
+	if c != want {
+		t.Errorf("corners = %v", c)
+	}
+}
+
+// quickRect builds a well-formed rectangle from arbitrary int16 seeds.
+func quickRect(x0, y0, w, h int16) Rect {
+	ww := Coord(w)
+	hh := Coord(h)
+	if ww < 0 {
+		ww = -ww
+	}
+	if hh < 0 {
+		hh = -hh
+	}
+	return R(Coord(x0), Coord(y0), Coord(x0)+ww, Coord(y0)+hh)
+}
+
+func TestRectPropertyIntersectionSymmetricAndContained(t *testing.T) {
+	f := func(x0, y0, w0, h0, x1, y1, w1, h1 int16) bool {
+		a := quickRect(x0, y0, w0, h0)
+		b := quickRect(x1, y1, w1, h1)
+		ab := a.Intersect(b)
+		ba := b.Intersect(a)
+		if !ab.Eq(ba) {
+			return false
+		}
+		if !ab.Empty() && (!a.ContainsRect(ab) || !b.ContainsRect(ab)) {
+			return false
+		}
+		// Overlap area is symmetric and bounded by each area.
+		if a.OverlapArea(b) != b.OverlapArea(a) {
+			return false
+		}
+		if a.OverlapArea(b) > a.Area() || a.OverlapArea(b) > b.Area() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectPropertyUnionContainsBoth(t *testing.T) {
+	f := func(x0, y0, w0, h0, x1, y1, w1, h1 int16) bool {
+		a := quickRect(x0, y0, w0, h0)
+		b := quickRect(x1, y1, w1, h1)
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectPropertyOverlapIffZeroDistance(t *testing.T) {
+	f := func(x0, y0, w0, h0, x1, y1, w1, h1 int16) bool {
+		a := quickRect(x0, y0, w0, h0)
+		b := quickRect(x1, y1, w1, h1)
+		if a.Empty() || b.Empty() {
+			return true
+		}
+		if a.Overlaps(b) {
+			return a.Distance(b) == 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

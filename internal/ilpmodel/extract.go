@@ -1,0 +1,221 @@
+package ilpmodel
+
+import (
+	"fmt"
+	"math"
+
+	"rficlayout/internal/geom"
+	"rficlayout/internal/layout"
+	"rficlayout/internal/milp"
+)
+
+// ExtractLayout converts a solution vector of the MILP into a concrete
+// layout: device centres and orientations, and the chain-point routes of all
+// free microstrips (fixed objects keep their positions from the Fixed
+// layout). Coordinates are rounded to integer nanometres; routes are rebuilt
+// from the solved segment directions and lengths so that they stay exactly
+// axis-parallel and anchored on their pins after rounding.
+func (m *Model) ExtractLayout(x []float64) (*layout.Layout, error) {
+	if x == nil {
+		return nil, fmt.Errorf("ilpmodel: cannot extract a layout from an empty solution")
+	}
+	l := layout.New(m.Circuit)
+
+	for name, dv := range m.devices {
+		var center geom.Point
+		if dv.free {
+			center = geom.Pt(roundUm(x[dv.x]), roundUm(x[dv.y]))
+			if dv.isPad {
+				center = m.snapPadToBoundary(center)
+			}
+		} else {
+			center = dv.fixedCenter
+		}
+		if err := l.Place(name, center, dv.orient); err != nil {
+			return nil, err
+		}
+	}
+
+	for name, sv := range m.strips {
+		var pts []geom.Point
+		if sv.free {
+			var err error
+			pts, err = m.reconstructPath(l, sv, x)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			pts = append([]geom.Point(nil), sv.fixedPts...)
+		}
+		if err := l.Route(name, pts...); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// reconstructPath rebuilds a free strip's chain points from the solved
+// segment directions and lengths, anchored exactly on its start terminal and
+// with the rounding residual absorbed into the last legs of each axis.
+func (m *Model) reconstructPath(l *layout.Layout, sv *stripVars, x []float64) ([]geom.Point, error) {
+	start, err := m.terminalPoint(l, sv, true)
+	if err != nil {
+		return nil, err
+	}
+	goal, err := m.terminalPoint(l, sv, false)
+	if err != nil {
+		return nil, err
+	}
+
+	segs := sv.n - 1
+	dirs := make([]geom.Direction, segs)
+	lens := make([]geom.Coord, segs)
+	for j := 0; j < segs; j++ {
+		dirs[j] = m.segmentDirection(sv, x, j)
+		lens[j] = roundUm(x[sv.segLen[j]])
+	}
+
+	// Signed axis displacement of the solved route.
+	var dx, dy geom.Coord
+	for j := 0; j < segs; j++ {
+		d := dirs[j].Delta()
+		dx += d.X * lens[j]
+		dy += d.Y * lens[j]
+	}
+	// Distribute the rounding residual onto the last segment of each axis.
+	residX := (goal.X - start.X) - dx
+	residY := (goal.Y - start.Y) - dy
+	for j := segs - 1; j >= 0 && residX != 0; j-- {
+		if dirs[j].Horizontal() {
+			lens[j] += residX * geom.Coord(dirs[j].Delta().X)
+			if lens[j] < 0 {
+				lens[j] = 0
+			}
+			residX = 0
+		}
+	}
+	for j := segs - 1; j >= 0 && residY != 0; j-- {
+		if dirs[j].Vertical() {
+			lens[j] += residY * geom.Coord(dirs[j].Delta().Y)
+			if lens[j] < 0 {
+				lens[j] = 0
+			}
+			residY = 0
+		}
+	}
+
+	pts := make([]geom.Point, sv.n)
+	pts[0] = start
+	for j := 0; j < segs; j++ {
+		d := dirs[j].Delta()
+		pts[j+1] = pts[j].Add(geom.Pt(d.X*lens[j], d.Y*lens[j]))
+	}
+	return pts, nil
+}
+
+// terminalPoint returns the exact nanometre point a strip end must attach to:
+// the device pin, or the device centre in blurred mode.
+func (m *Model) terminalPoint(l *layout.Layout, sv *stripVars, from bool) (geom.Point, error) {
+	term := sv.ms.From
+	if !from {
+		term = sv.ms.To
+	}
+	pd := l.Placed(term.Device)
+	if pd == nil {
+		return geom.Point{}, fmt.Errorf("ilpmodel: device %q not placed during extraction", term.Device)
+	}
+	if m.Config.Blurred {
+		return pd.Center, nil
+	}
+	return pd.PinPosition(term.Pin)
+}
+
+// segmentDirection reads the direction of segment j of a free strip from the
+// solution vector.
+func (m *Model) segmentDirection(sv *stripVars, x []float64, j int) geom.Direction {
+	if sv.topologyFixed {
+		return sv.fixedDirs[j]
+	}
+	best := geom.Right
+	bestVal := -1.0
+	for _, d := range geom.Directions {
+		if v := x[sv.dirs[j][d]]; v > bestVal {
+			bestVal = v
+			best = d
+		}
+	}
+	return best
+}
+
+// SolveAndExtract solves the model and extracts the incumbent layout when one
+// exists.
+func (m *Model) SolveAndExtract(opts milp.SolveOptions) (*layout.Layout, *milp.Result, error) {
+	res, err := m.Solve(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !res.Status.HasSolution() {
+		return nil, res, nil
+	}
+	l, err := m.ExtractLayout(res.X)
+	if err != nil {
+		return nil, res, err
+	}
+	return l, res, nil
+}
+
+// Bends returns the bend count of strip name in the given solution vector.
+func (m *Model) Bends(x []float64, strip string) (int, error) {
+	sv, ok := m.strips[strip]
+	if !ok {
+		return 0, fmt.Errorf("ilpmodel: unknown microstrip %q", strip)
+	}
+	return int(math.Round(sv.nbExpr.Eval(x))), nil
+}
+
+// TotalBends returns the total bend count encoded in the solution vector.
+func (m *Model) TotalBends(x []float64) int {
+	total := 0.0
+	for _, sv := range m.strips {
+		total += sv.nbExpr.Eval(x)
+	}
+	return int(math.Round(total))
+}
+
+// UnmatchedLength returns the modeled |target − equivalent length| of a strip
+// in µm (zero for fixed strips, whose geometry is constant).
+func (m *Model) UnmatchedLength(x []float64, strip string) (float64, error) {
+	sv, ok := m.strips[strip]
+	if !ok {
+		return 0, fmt.Errorf("ilpmodel: unknown microstrip %q", strip)
+	}
+	if !sv.free || sv.lengthExpr == nil {
+		return 0, nil
+	}
+	return math.Abs(sv.lengthExpr.Eval(x) - sv.target), nil
+}
+
+// snapPadToBoundary clamps a pad centre onto the nearest boundary edge,
+// removing any residual solver tolerance from the Eq. 15 big-M constraints.
+func (m *Model) snapPadToBoundary(c geom.Point) geom.Point {
+	W, H := m.Circuit.AreaWidth, m.Circuit.AreaHeight
+	dLeft := geom.AbsCoord(c.X)
+	dRight := geom.AbsCoord(W - c.X)
+	dBottom := geom.AbsCoord(c.Y)
+	dTop := geom.AbsCoord(H - c.Y)
+	minD := geom.MinCoord(geom.MinCoord(dLeft, dRight), geom.MinCoord(dBottom, dTop))
+	switch minD {
+	case dLeft:
+		return geom.Pt(0, geom.ClampCoord(c.Y, 0, H))
+	case dRight:
+		return geom.Pt(W, geom.ClampCoord(c.Y, 0, H))
+	case dBottom:
+		return geom.Pt(geom.ClampCoord(c.X, 0, W), 0)
+	default:
+		return geom.Pt(geom.ClampCoord(c.X, 0, W), H)
+	}
+}
+
+func roundUm(um float64) geom.Coord {
+	return geom.Coord(math.Round(um * 1000))
+}

@@ -1,0 +1,255 @@
+package ilpmodel
+
+import (
+	"fmt"
+
+	"rficlayout/internal/geom"
+	"rficlayout/internal/milp"
+	"rficlayout/internal/netlist"
+)
+
+// Model is the built MILP for one layout (sub)problem together with the
+// bookkeeping needed to extract a layout from a solution vector. All model
+// coordinates are micrometres (float64); extraction rounds to nanometres.
+type Model struct {
+	Circuit *netlist.Circuit
+	Config  Config
+	MILP    *milp.Model
+
+	areaW, areaH float64 // layout area in µm
+	bigM         float64
+	clearance    float64 // spacing/2 in µm
+	delta        float64 // bend compensation δ in µm
+
+	devices map[string]*deviceVars
+	strips  map[string]*stripVars
+
+	nbMax milp.Var // envelope of per-strip bend counts
+	luMax milp.Var // envelope of per-strip unmatched lengths (soft mode)
+
+	overlapPairs int // number of non-overlap pairs actually constrained
+}
+
+// deviceVars holds per-device variables or fixed values.
+type deviceVars struct {
+	dev    *netlist.Device
+	free   bool
+	orient geom.Orientation
+
+	x, y milp.Var // centre coordinates (free devices)
+
+	fixedCenter geom.Point // used when !free
+
+	// Pad boundary selection binaries (free pads only, Eq. 15):
+	// ck chooses vertical (x pinned) vs horizontal (y pinned) boundary,
+	// bx/by choose which of the two boundaries of that kind.
+	ck, bx, by milp.Var
+	isPad      bool
+}
+
+// stripVars holds per-microstrip variables or fixed values.
+type stripVars struct {
+	ms    *netlist.Microstrip
+	free  bool
+	n     int     // number of chain points
+	width float64 // strip width in µm
+
+	x, y []milp.Var // chain point coordinates (free strips)
+
+	fixedPts []geom.Point // used when !free
+
+	topologyFixed bool
+	fixedDirs     []geom.Direction // per segment, when topologyFixed
+	fixedBends    int              // constant bend count when topologyFixed
+
+	dirs   [][4]milp.Var // per segment: Up, Down, Left, Right (free topology)
+	segLen []milp.Var    // per segment length
+	bendT  []milp.Var    // t_{i,j} per interior chain point (free topology)
+
+	lu milp.Var // unmatched length bound (soft mode)
+
+	target     float64 // adjusted target length in µm (Eq. 23 in blurred mode)
+	nbExpr     *milp.Expr
+	lengthExpr *milp.Expr
+}
+
+// Build constructs the MILP for the circuit under the given configuration.
+func Build(ckt *netlist.Circuit, cfg Config) (*Model, error) {
+	if err := ckt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(ckt); err != nil {
+		return nil, err
+	}
+	m := &Model{
+		Circuit:   ckt,
+		Config:    cfg,
+		MILP:      milp.NewModel(),
+		areaW:     geom.Microns(ckt.AreaWidth),
+		areaH:     geom.Microns(ckt.AreaHeight),
+		clearance: geom.Microns(ckt.Tech.Clearance()),
+		delta:     geom.Microns(ckt.Tech.BendCompensation),
+		devices:   map[string]*deviceVars{},
+		strips:    map[string]*stripVars{},
+	}
+	m.bigM = m.areaW + m.areaH + 200
+
+	if err := m.buildDevices(); err != nil {
+		return nil, err
+	}
+	if err := m.buildStrips(); err != nil {
+		return nil, err
+	}
+	if err := m.buildConnections(); err != nil {
+		return nil, err
+	}
+	if err := m.buildOverlap(); err != nil {
+		return nil, err
+	}
+	m.buildObjective()
+	return m, nil
+}
+
+// Stats describes the built model size.
+func (m *Model) Stats() string {
+	return fmt.Sprintf("%s; %d non-overlap pairs", m.MILP.Stats(), m.overlapPairs)
+}
+
+// buildDevices creates placement variables for free devices and records
+// fixed positions for the rest. In blurred mode device bodies are not
+// modeled, but their centres still exist because microstrips connect to them.
+func (m *Model) buildDevices() error {
+	for _, d := range m.Circuit.Devices {
+		dv := &deviceVars{
+			dev:    d,
+			orient: m.Config.orientation(d.Name),
+			isPad:  d.IsPad(),
+			free:   m.Config.deviceFree(d.Name),
+		}
+		if !dv.free {
+			pd := m.Config.Fixed.Placed(d.Name)
+			if pd == nil {
+				return fmt.Errorf("ilpmodel: device %q is fixed but has no placement in the Fixed layout", d.Name)
+			}
+			dv.fixedCenter = pd.Center
+			dv.orient = pd.Orient
+			m.devices[d.Name] = dv
+			continue
+		}
+
+		w, h := d.Dimensions(dv.orient)
+		halfW := geom.Microns(w) / 2
+		halfH := geom.Microns(h) / 2
+		loX, hiX := halfW, m.areaW-halfW
+		loY, hiY := halfH, m.areaH-halfH
+		if d.IsPad() || m.Config.Blurred {
+			// Pad centres sit on the boundary; blurred devices may float
+			// anywhere since their bodies are not modeled.
+			loX, hiX = 0, m.areaW
+			loY, hiY = 0, m.areaH
+		}
+		if m.Config.Confinement > 0 {
+			if pd := m.Config.Fixed.Placed(d.Name); pd != nil {
+				tau := geom.Microns(m.Config.Confinement)
+				cx, cy := geom.Microns(pd.Center.X), geom.Microns(pd.Center.Y)
+				loX, hiX = maxf(loX, cx-tau), minf(hiX, cx+tau)
+				loY, hiY = maxf(loY, cy-tau), minf(hiY, cy+tau)
+				dv.orient = pd.Orient
+				if o, ok := m.Config.Orientations[d.Name]; ok {
+					dv.orient = o.Normalize()
+				}
+			}
+		}
+		if loX > hiX || loY > hiY {
+			return fmt.Errorf("ilpmodel: device %q has an empty feasible window", d.Name)
+		}
+		dv.x = m.MILP.AddContinuous("dev."+d.Name+".x", loX, hiX)
+		dv.y = m.MILP.AddContinuous("dev."+d.Name+".y", loY, hiY)
+
+		if d.IsPad() {
+			// Eq. 15: the pad centre lies on one of the four boundary edges.
+			dv.ck = m.MILP.AddBinary("pad." + d.Name + ".ck")
+			dv.bx = m.MILP.AddBinary("pad." + d.Name + ".bx")
+			dv.by = m.MILP.AddBinary("pad." + d.Name + ".by")
+			// ck = 1 → x = W·bx ; ck = 0 → y = H·by.
+			x := milp.Term(dv.x, 1).Add(dv.bx, -m.areaW)
+			m.MILP.AddImpliedLE("pad."+d.Name+".xhi", dv.ck, x.Clone(), 0, m.bigM)
+			m.MILP.AddImpliedGE("pad."+d.Name+".xlo", dv.ck, x, 0, m.bigM)
+			y := milp.Term(dv.y, 1).Add(dv.by, -m.areaH)
+			negCk := m.MILP.AddBinary("pad." + d.Name + ".nck")
+			m.MILP.AddEQ("pad."+d.Name+".ckneg", milp.Term(dv.ck, 1).Add(negCk, 1), 1)
+			m.MILP.AddImpliedLE("pad."+d.Name+".yhi", negCk, y.Clone(), 0, m.bigM)
+			m.MILP.AddImpliedGE("pad."+d.Name+".ylo", negCk, y, 0, m.bigM)
+		}
+		m.devices[d.Name] = dv
+	}
+	return nil
+}
+
+// centerExpr returns linear expressions for the device centre coordinates
+// (variables or constants).
+func (m *Model) centerExpr(dv *deviceVars) (x, y *milp.Expr) {
+	if dv.free {
+		return milp.Term(dv.x, 1), milp.Term(dv.y, 1)
+	}
+	return milp.Constant(geom.Microns(dv.fixedCenter.X)), milp.Constant(geom.Microns(dv.fixedCenter.Y))
+}
+
+// pinExpr returns linear expressions for the absolute position of a device
+// pin, honouring the device orientation.
+func (m *Model) pinExpr(dv *deviceVars, pin string) (x, y *milp.Expr, err error) {
+	off, err := dv.dev.PinOffset(pin, dv.orient)
+	if err != nil {
+		return nil, nil, err
+	}
+	cx, cy := m.centerExpr(dv)
+	return cx.AddConst(geom.Microns(off.X)), cy.AddConst(geom.Microns(off.Y)), nil
+}
+
+// buildObjective assembles Eq. 21 (hard-length form) or Eq. 26 (progressive
+// form with unmatched-length and overlap penalties added by the other build
+// steps).
+func (m *Model) buildObjective() {
+	w := m.Config.weights()
+	var nbExprs []*milp.Expr
+	for _, sv := range m.strips {
+		nbExprs = append(nbExprs, sv.nbExpr)
+		// β · Σ n_b,i
+		m.MILP.AddObjectiveExpr(sv.nbExpr, w.Beta)
+	}
+	m.nbMax = m.MILP.MaxEnvelope("nb.max", 1e6, nbExprs...)
+	m.MILP.SetObjectiveCoef(m.nbMax, w.Alpha)
+
+	if m.Config.SoftLength {
+		var luExprs []*milp.Expr
+		for _, sv := range m.strips {
+			if sv.free {
+				luExprs = append(luExprs, milp.Term(sv.lu, 1))
+				m.MILP.AddObjectiveCoef(sv.lu, w.Zeta)
+			}
+		}
+		if len(luExprs) > 0 {
+			m.luMax = m.MILP.MaxEnvelope("lu.max", 1e9, luExprs...)
+			m.MILP.SetObjectiveCoef(m.luMax, w.Gamma)
+		}
+	}
+}
+
+// Solve runs branch and bound on the model.
+func (m *Model) Solve(opts milp.SolveOptions) (*milp.Result, error) {
+	return m.MILP.Solve(opts)
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,350 @@
+package ilpmodel
+
+import (
+	"testing"
+	"time"
+
+	"rficlayout/internal/geom"
+	"rficlayout/internal/layout"
+	"rficlayout/internal/milp"
+	"rficlayout/internal/netlist"
+	"rficlayout/internal/tech"
+)
+
+// twoBlockCircuit builds a minimal instance: two capacitor blocks connected
+// by one microstrip inside a 300×200 µm area.
+func twoBlockCircuit(targetUm float64) *netlist.Circuit {
+	c := netlist.NewCircuit("pair", tech.Default90nm(), geom.FromMicrons(300), geom.FromMicrons(200))
+	a := netlist.NewDevice("A", netlist.Capacitor, geom.FromMicrons(40), geom.FromMicrons(40))
+	a.AddPin("p", geom.PtMicrons(20, 0), 0)
+	c.AddDevice(a)
+	b := netlist.NewDevice("B", netlist.Capacitor, geom.FromMicrons(40), geom.FromMicrons(40))
+	b.AddPin("p", geom.PtMicrons(-20, 0), 0)
+	c.AddDevice(b)
+	c.Connect("TL", "A", "p", "B", "p", geom.FromMicrons(targetUm))
+	return c
+}
+
+// fixedTwoBlockLayout places A and B at opposite ends of the area.
+func fixedTwoBlockLayout(t *testing.T, c *netlist.Circuit) *layout.Layout {
+	t.Helper()
+	l := layout.New(c)
+	if err := l.Place("A", geom.PtMicrons(40, 100), geom.R0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Place("B", geom.PtMicrons(260, 100), geom.R0); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func solveOpts(limit time.Duration) milp.SolveOptions {
+	return milp.SolveOptions{TimeLimit: limit, MIPGap: 1e-4}
+}
+
+func TestStraightStripExactLength(t *testing.T) {
+	// Pins are 180 µm apart; the target is exactly 180 µm, so a straight
+	// zero-bend route is optimal and exact.
+	c := twoBlockCircuit(180)
+	fixed := fixedTwoBlockLayout(t, c)
+	m, err := Build(c, Config{
+		FreeDevices:        []string{},
+		Fixed:              fixed,
+		DefaultChainPoints: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, res, err := m.SolveAndExtract(solveOpts(20 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Status.HasSolution() {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if lay == nil || !lay.Complete() {
+		t.Fatal("incomplete layout extracted")
+	}
+	rs := lay.Routed("TL")
+	if rs.Bends() != 0 {
+		t.Errorf("bends = %d, want 0", rs.Bends())
+	}
+	if vs := lay.Check(layout.CheckOptions{PinTolerance: 2}); len(vs) != 0 {
+		t.Errorf("violations: %v", vs)
+	}
+	if got := m.TotalBends(res.X); got != 0 {
+		t.Errorf("modeled bends = %d", got)
+	}
+	if mismatch, _ := m.UnmatchedLength(res.X, "TL"); mismatch > 1e-4 {
+		t.Errorf("modeled length mismatch = %g µm", mismatch)
+	}
+}
+
+func TestLongerTargetForcesDetour(t *testing.T) {
+	// Pins are 180 µm apart but the target is 240 µm: the strip must detour,
+	// which needs at least two bends. The equivalent length must match the
+	// target exactly, including the per-bend compensation.
+	c := twoBlockCircuit(240)
+	fixed := fixedTwoBlockLayout(t, c)
+	m, err := Build(c, Config{
+		FreeDevices:        []string{},
+		Fixed:              fixed,
+		DefaultChainPoints: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, res, err := m.SolveAndExtract(solveOpts(30 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Status.HasSolution() {
+		t.Fatalf("status = %v", res.Status)
+	}
+	rs := lay.Routed("TL")
+	if rs.Bends() < 2 {
+		t.Errorf("bends = %d, want >= 2 for a detour", rs.Bends())
+	}
+	if vs := lay.Check(layout.CheckOptions{PinTolerance: 2}); len(vs) != 0 {
+		t.Errorf("violations: %v", vs)
+	}
+}
+
+func TestInfeasibleTooShortTarget(t *testing.T) {
+	// The pins are 180 µm apart but the target is only 100 µm: no planar
+	// rectilinear route can be shorter than the Manhattan pin distance, so
+	// the model must be infeasible.
+	c := twoBlockCircuit(100)
+	fixed := fixedTwoBlockLayout(t, c)
+	m, err := Build(c, Config{
+		FreeDevices:        []string{},
+		Fixed:              fixed,
+		DefaultChainPoints: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Solve(solveOpts(20 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != milp.StatusInfeasible {
+		t.Errorf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestSoftLengthReportsMismatch(t *testing.T) {
+	// Same impossible 100 µm target, but with SoftLength the model stays
+	// feasible and reports the 80 µm shortfall (pins are 180 µm apart).
+	c := twoBlockCircuit(100)
+	fixed := fixedTwoBlockLayout(t, c)
+	m, err := Build(c, Config{
+		FreeDevices:        []string{},
+		Fixed:              fixed,
+		DefaultChainPoints: 3,
+		SoftLength:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Solve(solveOpts(20 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Status.HasSolution() {
+		t.Fatalf("status = %v", res.Status)
+	}
+	mismatch, err := m.UnmatchedLength(res.X, "TL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mismatch < 75 || mismatch > 85 {
+		t.Errorf("mismatch = %g µm, want ≈ 80", mismatch)
+	}
+}
+
+func TestFixTopologyKeepsDirectionsAndMatchesLength(t *testing.T) {
+	// Give a warm route with an L topology (3 points) and fix it; the solver
+	// may only slide coordinates. Target length chosen to require moving the
+	// bend position: pins at (60,100) and (240,100); warm route goes up and
+	// over. With topology up-right-down... use 4 points: up, right, down.
+	c := netlist.NewCircuit("ltopo", tech.Default90nm(), geom.FromMicrons(300), geom.FromMicrons(200))
+	a := netlist.NewDevice("A", netlist.Capacitor, geom.FromMicrons(40), geom.FromMicrons(40))
+	a.AddPin("p", geom.PtMicrons(0, 20), 0)
+	c.AddDevice(a)
+	b := netlist.NewDevice("B", netlist.Capacitor, geom.FromMicrons(40), geom.FromMicrons(40))
+	b.AddPin("p", geom.PtMicrons(0, 20), 0)
+	c.AddDevice(b)
+	// Pin distance horizontally 200 µm; target 280 µm → detour of 80 µm
+	// vertically split over the up and down legs (40 each), minus bend
+	// compensation 2·(−4) = −8 → geometric must be 288.
+	c.Connect("TL", "A", "p", "B", "p", geom.FromMicrons(280))
+
+	fixed := layout.New(c)
+	if err := fixed.Place("A", geom.PtMicrons(40, 80), geom.R0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fixed.Place("B", geom.PtMicrons(240, 80), geom.R0); err != nil {
+		t.Fatal(err)
+	}
+	// Warm route with the desired topology (up, right, down), not yet the
+	// right length.
+	if err := fixed.Route("TL",
+		geom.PtMicrons(40, 100), geom.PtMicrons(40, 120),
+		geom.PtMicrons(240, 120), geom.PtMicrons(240, 100)); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := Build(c, Config{
+		FreeDevices:        []string{},
+		Fixed:              fixed,
+		DefaultChainPoints: 4,
+		FixTopology:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, res, err := m.SolveAndExtract(solveOpts(20 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Status.HasSolution() {
+		t.Fatalf("status = %v", res.Status)
+	}
+	rs := lay.Routed("TL")
+	if rs.Bends() != 2 {
+		t.Errorf("bends = %d, want 2", rs.Bends())
+	}
+	delta := c.Tech.BendCompensation
+	if e := geom.AbsCoord(rs.LengthError(delta)); e > 10 {
+		t.Errorf("length error = %d nm", e)
+	}
+	if vs := lay.Check(layout.CheckOptions{PinTolerance: 2}); len(vs) != 0 {
+		t.Errorf("violations: %v", vs)
+	}
+}
+
+func TestFreePadLandsOnBoundary(t *testing.T) {
+	// One fixed device in the middle, one free pad, one strip of exactly the
+	// length from the device pin to the best boundary position. The pad must
+	// end on the layout boundary (Eq. 15).
+	c := netlist.NewCircuit("padtest", tech.Default90nm(), geom.FromMicrons(200), geom.FromMicrons(160))
+	d := netlist.NewDevice("M", netlist.Transistor, geom.FromMicrons(40), geom.FromMicrons(30))
+	d.AddPin("in", geom.PtMicrons(-20, 0), 0)
+	c.AddDevice(d)
+	c.AddDevice(netlist.NewPad("P", c.Tech.PadSize))
+	c.Connect("TL", "P", "p", "M", "in", geom.FromMicrons(80))
+
+	fixed := layout.New(c)
+	if err := fixed.Place("M", geom.PtMicrons(100, 80), geom.R0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Build(c, Config{
+		FreeDevices:        []string{"P"},
+		Fixed:              fixed,
+		DefaultChainPoints: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, res, err := m.SolveAndExtract(solveOpts(30 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Status.HasSolution() {
+		t.Fatalf("status = %v", res.Status)
+	}
+	pad := lay.Placed("P")
+	onBoundary := pad.Center.X == 0 || pad.Center.X == c.AreaWidth ||
+		pad.Center.Y == 0 || pad.Center.Y == c.AreaHeight
+	if !onBoundary {
+		t.Errorf("pad centre %v is not on the boundary", pad.Center)
+	}
+	rs := lay.Routed("TL")
+	if e := geom.AbsCoord(rs.LengthError(c.Tech.BendCompensation)); e > 10 {
+		t.Errorf("length error = %d nm", e)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	c := twoBlockCircuit(180)
+	if _, err := Build(c, Config{FreeDevices: []string{"A"}}); err == nil {
+		t.Error("missing Fixed layout accepted")
+	}
+	if _, err := Build(c, Config{ChainPoints: map[string]int{"nope": 4}}); err == nil {
+		t.Error("unknown strip in ChainPoints accepted")
+	}
+	if _, err := Build(c, Config{Orientations: map[string]geom.Orientation{"nope": geom.R90}}); err == nil {
+		t.Error("unknown device in Orientations accepted")
+	}
+	fixed := layout.New(c)
+	if _, err := Build(c, Config{FreeDevices: []string{"A", "ZZ"}, Fixed: fixed}); err == nil {
+		t.Error("unknown free device accepted")
+	}
+	if _, err := Build(c, Config{FreeStrips: []string{"ZZ"}, Fixed: fixed}); err == nil {
+		t.Error("unknown free strip accepted")
+	}
+	// Fixed devices without placements must be rejected at build time.
+	if _, err := Build(c, Config{FreeDevices: []string{}, Fixed: layout.New(c)}); err == nil {
+		t.Error("missing fixed placement accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}
+	if cfg.chainPoints("any") != 4 {
+		t.Errorf("default chain points = %d", cfg.chainPoints("any"))
+	}
+	cfg.DefaultChainPoints = 5
+	if cfg.chainPoints("any") != 5 {
+		t.Error("DefaultChainPoints not honoured")
+	}
+	cfg.ChainPoints = map[string]int{"x": 3}
+	if cfg.chainPoints("x") != 3 {
+		t.Error("per-strip chain points not honoured")
+	}
+	if cfg.orientation("any") != geom.R0 {
+		t.Error("default orientation should be R0")
+	}
+	if cfg.weights() != DefaultWeights() {
+		t.Error("zero weights should map to defaults")
+	}
+	w := Weights{Alpha: 1, Beta: 2, Gamma: 3, Zeta: 4, Eta: 5}
+	cfg.Weights = w
+	if cfg.weights() != w {
+		t.Error("explicit weights overridden")
+	}
+}
+
+func TestWarmDirections(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 0), geom.Pt(10, 20),
+	}
+	dirs := warmDirections(pts)
+	want := []geom.Direction{geom.Right, geom.Right, geom.Up}
+	for i := range want {
+		if dirs[i] != want[i] {
+			t.Errorf("dir %d = %v, want %v", i, dirs[i], want[i])
+		}
+	}
+	// All-zero-length path falls back to a default without panicking.
+	dirs = warmDirections([]geom.Point{geom.Pt(5, 5), geom.Pt(5, 5)})
+	if len(dirs) != 1 {
+		t.Errorf("dirs = %v", dirs)
+	}
+}
+
+func TestModelStats(t *testing.T) {
+	c := twoBlockCircuit(180)
+	fixed := fixedTwoBlockLayout(t, c)
+	m, err := Build(c, Config{FreeDevices: []string{}, Fixed: fixed, DefaultChainPoints: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats() == "" {
+		t.Error("empty stats")
+	}
+	if m.MILP.NumVars() == 0 || m.MILP.NumConstraints() == 0 {
+		t.Error("model appears empty")
+	}
+}

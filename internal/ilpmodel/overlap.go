@@ -1,0 +1,311 @@
+package ilpmodel
+
+import (
+	"fmt"
+
+	"rficlayout/internal/geom"
+	"rficlayout/internal/milp"
+	"rficlayout/internal/netlist"
+)
+
+// box is one rectangle participating in the non-overlap constraints of
+// Eq. 16–20. Its four expanded edges are linear expressions over model
+// variables (constants for fixed objects).
+type box struct {
+	name  string // owning object name
+	kind  string // "device" or "segment"
+	strip string // owning strip for segments
+	seg   int    // segment index within the strip, -1 for devices
+	terms [2]string
+	// endTerms lists the terminals this segment is directly adjacent to;
+	// end segments of two strips that meet at the same pin (T-junction) are
+	// exempt from the non-overlap constraint between each other.
+	endTerms []netlist.Terminal
+
+	xlo, xhi, ylo, yhi *milp.Expr
+
+	warm    geom.Rect // expanded rectangle in the Fixed layout, for pruning
+	hasWarm bool
+	isConst bool
+}
+
+// buildOverlap creates the pairwise non-overlap constraints between all
+// device bodies and microstrip segments (Eq. 16–20), honouring the
+// exemptions for connected objects, the pair-radius pruning and the optional
+// overlap slack of phase 1.
+func (m *Model) buildOverlap() error {
+	boxes, err := m.collectBoxes()
+	if err != nil {
+		return err
+	}
+	w := m.Config.weights()
+	for i := 0; i < len(boxes); i++ {
+		for j := i + 1; j < len(boxes); j++ {
+			a, b := boxes[i], boxes[j]
+			if a.isConst && b.isConst {
+				continue
+			}
+			if overlapExempt(a, b) {
+				continue
+			}
+			if m.Config.PairRadius > 0 && a.hasWarm && b.hasWarm {
+				if a.warm.Distance(b.warm) > m.Config.PairRadius {
+					continue
+				}
+			}
+			m.overlapPairs++
+			pair := fmt.Sprintf("ovl.%s#%d.%s#%d", a.name, a.seg, b.name, b.seg)
+			var slackTerm *milp.Expr
+			if m.Config.OverlapSlack {
+				s := m.MILP.AddContinuous(pair+".slack", 0, m.areaW+m.areaH)
+				m.MILP.AddObjectiveCoef(s, w.Eta)
+				slackTerm = milp.Term(s, 1)
+			}
+			if m.Config.RelativePositions && a.hasWarm && b.hasWarm {
+				// Keep only the separation the warm layout already realizes
+				// (or comes closest to realizing): no disjunction binaries.
+				switch bestSeparation(a.warm, b.warm) {
+				case 0:
+					m.addHardSeparation(pair+".left", a.xhi, b.xlo, slackTerm)
+				case 1:
+					m.addHardSeparation(pair+".right", b.xhi, a.xlo, slackTerm)
+				case 2:
+					m.addHardSeparation(pair+".below", a.yhi, b.ylo, slackTerm)
+				default:
+					m.addHardSeparation(pair+".above", b.yhi, a.ylo, slackTerm)
+				}
+				continue
+			}
+			u := [4]milp.Var{}
+			sum := milp.NewExpr()
+			for k := 0; k < 4; k++ {
+				u[k] = m.MILP.AddBinary(fmt.Sprintf("%s.u%d", pair, k))
+				sum.Add(u[k], 1)
+			}
+			// Eq. 20: at least one separation case must be active.
+			m.MILP.AddLE(pair+".pick", sum, 3)
+			// Eq. 16–19: the four separation cases, each relaxable by its
+			// binary (and by the shared slack in phase 1).
+			m.addSeparation(pair+".left", a.xhi, b.xlo, u[0], slackTerm)
+			m.addSeparation(pair+".right", b.xhi, a.xlo, u[1], slackTerm)
+			m.addSeparation(pair+".below", a.yhi, b.ylo, u[2], slackTerm)
+			m.addSeparation(pair+".above", b.yhi, a.ylo, u[3], slackTerm)
+		}
+	}
+	return nil
+}
+
+// addSeparation adds "hi ≤ lo + M·u (+ slack)".
+func (m *Model) addSeparation(name string, hi, lo *milp.Expr, u milp.Var, slack *milp.Expr) {
+	e := hi.Clone().AddExpr(lo, -1).Add(u, -m.bigM)
+	if slack != nil {
+		e.AddExpr(slack, -1)
+	}
+	m.MILP.AddLE(name, e, 0)
+}
+
+// addHardSeparation adds "hi ≤ lo (+ slack)" with no relaxation binary.
+func (m *Model) addHardSeparation(name string, hi, lo *milp.Expr, slack *milp.Expr) {
+	e := hi.Clone().AddExpr(lo, -1)
+	if slack != nil {
+		e.AddExpr(slack, -1)
+	}
+	m.MILP.AddLE(name, e, 0)
+}
+
+// bestSeparation returns which of the four separation cases (0 a-left-of-b,
+// 1 b-left-of-a, 2 a-below-b, 3 b-below-a) the two warm rectangles realize
+// best, i.e. with the largest (least negative) gap.
+func bestSeparation(a, b geom.Rect) int {
+	gaps := [4]geom.Coord{
+		b.Min.X - a.Max.X, // a left of b
+		a.Min.X - b.Max.X, // b left of a
+		b.Min.Y - a.Max.Y, // a below b
+		a.Min.Y - b.Max.Y, // b below a
+	}
+	best := 0
+	for k := 1; k < 4; k++ {
+		if gaps[k] > gaps[best] {
+			best = k
+		}
+	}
+	return best
+}
+
+// overlapExempt mirrors the DRC exemptions: adjacent segments of the same
+// strip, end segments of two strips meeting at the same pin, and a strip's
+// segments against the devices it terminates on.
+func overlapExempt(a, b box) bool {
+	if a.kind == "segment" && b.kind == "segment" && a.strip == b.strip {
+		di := a.seg - b.seg
+		if di < 0 {
+			di = -di
+		}
+		return di <= 1
+	}
+	if a.kind == "segment" && b.kind == "segment" {
+		for _, ta := range a.endTerms {
+			for _, tb := range b.endTerms {
+				if ta == tb {
+					return true
+				}
+			}
+		}
+	}
+	if a.kind == "device" && b.kind == "segment" {
+		a, b = b, a
+	}
+	if a.kind == "segment" && b.kind == "device" {
+		return a.terms[0] == b.name || a.terms[1] == b.name
+	}
+	return false
+}
+
+// collectBoxes builds the expanded bounding boxes of all devices and
+// segments.
+func (m *Model) collectBoxes() ([]box, error) {
+	var out []box
+
+	// Device bodies. In blurred mode device geometries are excluded
+	// (Section 5.1); their space is reserved by the enlarged end-segment
+	// boxes instead.
+	if !m.Config.Blurred {
+		for _, d := range m.Circuit.Devices {
+			dv := m.devices[d.Name]
+			w, h := d.Dimensions(dv.orient)
+			halfW := geom.Microns(w)/2 + m.clearance
+			halfH := geom.Microns(h)/2 + m.clearance
+			bx := box{name: d.Name, kind: "device", seg: -1}
+			if dv.free {
+				cx, cy := m.centerExpr(dv)
+				bx.xlo = cx.Clone().AddConst(-halfW)
+				bx.xhi = cx.Clone().AddConst(halfW)
+				bx.ylo = cy.Clone().AddConst(-halfH)
+				bx.yhi = cy.Clone().AddConst(halfH)
+			} else {
+				r := d.BodyRect(dv.fixedCenter, dv.orient).Expand(m.Circuit.Tech.Clearance())
+				bx.xlo = milp.Constant(geom.Microns(r.Min.X))
+				bx.xhi = milp.Constant(geom.Microns(r.Max.X))
+				bx.ylo = milp.Constant(geom.Microns(r.Min.Y))
+				bx.yhi = milp.Constant(geom.Microns(r.Max.Y))
+				bx.isConst = true
+			}
+			if m.Config.Fixed != nil {
+				if pd := m.Config.Fixed.Placed(d.Name); pd != nil {
+					bx.warm = pd.BodyRect().Expand(m.Circuit.Tech.Clearance())
+					bx.hasWarm = true
+				}
+			}
+			out = append(out, bx)
+		}
+	}
+
+	// Microstrip segments.
+	for _, ms := range m.Circuit.Microstrips {
+		sv := m.strips[ms.Name]
+		terms := [2]string{ms.From.Device, ms.To.Device}
+
+		if !sv.free {
+			segs := (geom.Polyline{Points: sv.fixedPts, Width: m.Circuit.Tech.StripWidth(ms.Width)}).Segments()
+			for k, seg := range segs {
+				r := seg.Rect().Expand(m.Circuit.Tech.Clearance())
+				bx := box{
+					name: ms.Name, kind: "segment", strip: ms.Name, seg: k, terms: terms,
+					xlo:     milp.Constant(geom.Microns(r.Min.X)),
+					xhi:     milp.Constant(geom.Microns(r.Max.X)),
+					ylo:     milp.Constant(geom.Microns(r.Min.Y)),
+					yhi:     milp.Constant(geom.Microns(r.Max.Y)),
+					isConst: true,
+					warm:    r, hasWarm: true,
+				}
+				if k == 0 {
+					bx.endTerms = append(bx.endTerms, ms.From)
+				}
+				if k == len(segs)-1 {
+					bx.endTerms = append(bx.endTerms, ms.To)
+				}
+				out = append(out, bx)
+			}
+			continue
+		}
+
+		warmRect, hasWarm := m.warmStripRect(ms.Name)
+		for j := 0; j < sv.n-1; j++ {
+			// Envelope variables for the segment extent along each axis.
+			exlo := m.MILP.AddContinuous(fmt.Sprintf("env.%s.%d.xlo", ms.Name, j), 0, m.areaW)
+			exhi := m.MILP.AddContinuous(fmt.Sprintf("env.%s.%d.xhi", ms.Name, j), 0, m.areaW)
+			eylo := m.MILP.AddContinuous(fmt.Sprintf("env.%s.%d.ylo", ms.Name, j), 0, m.areaH)
+			eyhi := m.MILP.AddContinuous(fmt.Sprintf("env.%s.%d.yhi", ms.Name, j), 0, m.areaH)
+			for _, idx := range []int{j, j + 1} {
+				m.MILP.AddLE(fmt.Sprintf("env.%s.%d.xlo.%d", ms.Name, j, idx), milp.Term(exlo, 1).Sub(sv.x[idx], 1), 0)
+				m.MILP.AddGE(fmt.Sprintf("env.%s.%d.xhi.%d", ms.Name, j, idx), milp.Term(exhi, 1).Sub(sv.x[idx], 1), 0)
+				m.MILP.AddLE(fmt.Sprintf("env.%s.%d.ylo.%d", ms.Name, j, idx), milp.Term(eylo, 1).Sub(sv.y[idx], 1), 0)
+				m.MILP.AddGE(fmt.Sprintf("env.%s.%d.yhi.%d", ms.Name, j, idx), milp.Term(eyhi, 1).Sub(sv.y[idx], 1), 0)
+			}
+
+			// Expansion of the segment body: the clearance on every side plus
+			// half the strip width across the segment axis. With free
+			// topology the lateral direction is selected by the direction
+			// binaries, which keeps the box exact instead of conservatively
+			// square.
+			half := sv.width / 2
+			expandX := milp.Constant(m.clearance)
+			expandY := milp.Constant(m.clearance)
+			switch {
+			case sv.topologyFixed:
+				if sv.fixedDirs[j].Vertical() {
+					expandX.AddConst(half)
+				} else {
+					expandY.AddConst(half)
+				}
+			default:
+				s := sv.dirs[j]
+				expandX.Add(s[geom.Up], half).Add(s[geom.Down], half)
+				expandY.Add(s[geom.Left], half).Add(s[geom.Right], half)
+			}
+			if m.Config.Blurred && (j == 0 || j == sv.n-2) {
+				// Figure 8: end segments of blurred strips reserve space for
+				// the device they will visualize later.
+				dev := terms[0]
+				if j == sv.n-2 {
+					dev = terms[1]
+				}
+				if d, err := m.Circuit.Device(dev); err == nil {
+					w, h := d.Dimensions(m.Config.orientation(dev))
+					reach := geom.Microns(geom.MaxCoord(w, h)) / 2
+					expandX.AddConst(reach)
+					expandY.AddConst(reach)
+				}
+			}
+			bx := box{
+				name: ms.Name, kind: "segment", strip: ms.Name, seg: j, terms: terms,
+				xlo:  milp.Term(exlo, 1).AddExpr(expandX, -1),
+				xhi:  milp.Term(exhi, 1).AddExpr(expandX, 1),
+				ylo:  milp.Term(eylo, 1).AddExpr(expandY, -1),
+				yhi:  milp.Term(eyhi, 1).AddExpr(expandY, 1),
+				warm: warmRect, hasWarm: hasWarm,
+			}
+			if j == 0 {
+				bx.endTerms = append(bx.endTerms, ms.From)
+			}
+			if j == sv.n-2 {
+				bx.endTerms = append(bx.endTerms, ms.To)
+			}
+			out = append(out, bx)
+		}
+	}
+	return out, nil
+}
+
+// warmStripRect returns the expanded bounding rectangle of a strip's route in
+// the Fixed layout, used for pair pruning of free strips.
+func (m *Model) warmStripRect(strip string) (geom.Rect, bool) {
+	if m.Config.Fixed == nil {
+		return geom.Rect{}, false
+	}
+	rs := m.Config.Fixed.Routed(strip)
+	if rs == nil || len(rs.Path.Points) == 0 {
+		return geom.Rect{}, false
+	}
+	return rs.Path.Bounds().Expand(m.Circuit.Tech.Clearance()), true
+}

@@ -1,0 +1,228 @@
+// Package lp implements a bounded-variable primal simplex solver for linear
+// programs. It is the continuous-relaxation engine underneath the MILP
+// branch-and-bound solver in internal/milp, which together replace the
+// commercial Gurobi optimizer used by the paper.
+//
+// The solver handles general variable bounds (including free and fixed
+// variables), the three constraint senses, minimization objectives, and
+// reports optimal, infeasible, unbounded or iteration-limited outcomes. The
+// implementation is a revised simplex with a dense basis inverse and sparse
+// constraint columns, a phase-1 artificial-variable start, Dantzig pricing
+// with a Bland anti-cycling fallback, and periodic refactorization.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Infinity is the bound value meaning "unbounded" in that direction.
+var Infinity = math.Inf(1)
+
+// Sense is the relation of a linear constraint.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // left-hand side <= rhs
+	GE              // left-hand side >= rhs
+	EQ              // left-hand side == rhs
+)
+
+// String implements fmt.Stringer.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// Entry is one coefficient of a sparse linear expression: Coef * variable Var.
+type Entry struct {
+	Var  int
+	Coef float64
+}
+
+// Variable describes one decision variable of a Problem.
+type Variable struct {
+	Name  string
+	Lower float64
+	Upper float64
+	Cost  float64 // objective coefficient (minimization)
+}
+
+// Constraint is one linear constraint of a Problem. Row coefficients are
+// stored sparsely; duplicate variable entries are summed when the problem is
+// loaded by the solver.
+type Constraint struct {
+	Name  string
+	Row   []Entry
+	Sense Sense
+	RHS   float64
+}
+
+// Problem is a linear program in the form
+//
+//	minimize    cᵀx
+//	subject to  row_i(x) (<=|>=|==) rhs_i
+//	            lower_j <= x_j <= upper_j
+//
+// Build it with NewProblem / AddVariable / AddConstraint and pass it to
+// Solve. A Problem can be solved repeatedly with different bound overrides,
+// which is how the branch-and-bound solver explores its tree.
+type Problem struct {
+	Variables   []Variable
+	Constraints []Constraint
+}
+
+// NewProblem returns an empty problem.
+func NewProblem() *Problem {
+	return &Problem{}
+}
+
+// NumVariables returns the number of variables added so far.
+func (p *Problem) NumVariables() int { return len(p.Variables) }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.Constraints) }
+
+// AddVariable adds a variable with the given bounds and objective cost and
+// returns its index. Use -Infinity / Infinity for unbounded directions.
+func (p *Problem) AddVariable(name string, lower, upper, cost float64) int {
+	p.Variables = append(p.Variables, Variable{Name: name, Lower: lower, Upper: upper, Cost: cost})
+	return len(p.Variables) - 1
+}
+
+// SetCost sets the objective coefficient of variable v.
+func (p *Problem) SetCost(v int, cost float64) {
+	p.Variables[v].Cost = cost
+}
+
+// SetBounds sets the bounds of variable v.
+func (p *Problem) SetBounds(v int, lower, upper float64) {
+	p.Variables[v].Lower = lower
+	p.Variables[v].Upper = upper
+}
+
+// AddConstraint adds a constraint and returns its index.
+func (p *Problem) AddConstraint(name string, row []Entry, sense Sense, rhs float64) int {
+	cp := make([]Entry, len(row))
+	copy(cp, row)
+	p.Constraints = append(p.Constraints, Constraint{Name: name, Row: cp, Sense: sense, RHS: rhs})
+	return len(p.Constraints) - 1
+}
+
+// Validate checks structural consistency: variable indices in range, finite
+// RHS values, lower <= upper for every variable.
+func (p *Problem) Validate() error {
+	n := len(p.Variables)
+	for j, v := range p.Variables {
+		if v.Lower > v.Upper {
+			return fmt.Errorf("lp: variable %d (%q) has lower bound %g > upper bound %g", j, v.Name, v.Lower, v.Upper)
+		}
+		if math.IsNaN(v.Lower) || math.IsNaN(v.Upper) || math.IsNaN(v.Cost) {
+			return fmt.Errorf("lp: variable %d (%q) has NaN bound or cost", j, v.Name)
+		}
+	}
+	for i, c := range p.Constraints {
+		if math.IsInf(c.RHS, 0) || math.IsNaN(c.RHS) {
+			return fmt.Errorf("lp: constraint %d (%q) has non-finite rhs %g", i, c.Name, c.RHS)
+		}
+		for _, e := range c.Row {
+			if e.Var < 0 || e.Var >= n {
+				return fmt.Errorf("lp: constraint %d (%q) references variable %d out of range [0,%d)", i, c.Name, e.Var, n)
+			}
+			if math.IsNaN(e.Coef) || math.IsInf(e.Coef, 0) {
+				return fmt.Errorf("lp: constraint %d (%q) has non-finite coefficient for variable %d", i, c.Name, e.Var)
+			}
+		}
+	}
+	return nil
+}
+
+// Status is the outcome of an LP solve.
+type Status int
+
+// Solve outcomes.
+const (
+	StatusUnknown Status = iota
+	StatusOptimal
+	StatusInfeasible
+	StatusUnbounded
+	StatusIterLimit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration-limit"
+	default:
+		return "unknown"
+	}
+}
+
+// Solution is the result of an LP solve.
+type Solution struct {
+	Status     Status
+	Objective  float64
+	X          []float64 // one value per problem variable
+	Iterations int
+}
+
+// Value returns the solved value of variable v.
+func (s *Solution) Value(v int) float64 { return s.X[v] }
+
+// Options tunes the solver.
+type Options struct {
+	// MaxIterations bounds the total number of simplex pivots across both
+	// phases. Zero means a generous default based on problem size.
+	MaxIterations int
+	// Tolerance is the feasibility / optimality tolerance. Zero means 1e-7.
+	Tolerance float64
+	// RefactorEvery forces a basis-inverse refactorization every that many
+	// pivots. Zero means 64.
+	RefactorEvery int
+	// LowerOverride / UpperOverride, when non-nil, replace the bounds of the
+	// variables whose indices appear in the map. The branch-and-bound solver
+	// uses these to explore branches without copying the whole problem.
+	LowerOverride map[int]float64
+	UpperOverride map[int]float64
+}
+
+func (o Options) tolerance() float64 {
+	if o.Tolerance > 0 {
+		return o.Tolerance
+	}
+	return 1e-7
+}
+
+func (o Options) refactorEvery() int {
+	if o.RefactorEvery > 0 {
+		return o.RefactorEvery
+	}
+	return 64
+}
+
+func (o Options) maxIterations(m, n int) int {
+	if o.MaxIterations > 0 {
+		return o.MaxIterations
+	}
+	it := 200 * (m + n)
+	if it < 2000 {
+		it = 2000
+	}
+	return it
+}

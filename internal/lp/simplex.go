@@ -1,0 +1,282 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// variable status codes used by the simplex.
+type varStatus int8
+
+const (
+	atLower varStatus = iota
+	atUpper
+	atFree // nonbasic free variable, parked at zero
+	inBasis
+)
+
+// simplex is the working state of one bounded-variable primal simplex solve.
+// It operates on a dense tableau T = B⁻¹·A with an incrementally maintained
+// reduced-cost row, which is simple, predictable and fast enough for the
+// model sizes produced by the progressive layout flow.
+type simplex struct {
+	m, n    int // constraint and total column counts (structural + slack + artificial)
+	nStruct int // structural variable count
+
+	lower, upper []float64 // bounds per column
+	cost         []float64 // phase-2 cost per column
+	phase1Cost   []float64 // phase-1 cost per column (1 for artificials)
+
+	tableau  [][]float64 // m rows × n columns, equals B⁻¹·A
+	beta     []float64   // current values of basic variables, one per row
+	basis    []int       // basic column per row
+	status   []varStatus // status per column
+	reduced  []float64   // reduced cost per column for the active phase
+	inPhase1 bool
+
+	// forcedInfeasible marks a subproblem whose bound overrides were
+	// contradictory (lower > upper); it is reported as infeasible without
+	// running any pivots.
+	forcedInfeasible bool
+
+	artStart int // first artificial column index (== n when none)
+
+	tol        float64
+	iterations int
+	maxIter    int
+	refresh    int
+
+	degenerate int  // consecutive degenerate pivots
+	useBland   bool // anti-cycling mode
+}
+
+// Solve minimizes the problem and returns the solution. The problem itself is
+// not modified; bound overrides from opts are applied to a private copy of
+// the bound arrays.
+func Solve(p *Problem, opts Options) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := newSimplex(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	status := s.run()
+	sol := &Solution{
+		Status:     status,
+		X:          s.extract(),
+		Iterations: s.iterations,
+	}
+	if status == StatusOptimal || status == StatusIterLimit {
+		obj := 0.0
+		for j := 0; j < s.nStruct; j++ {
+			obj += p.Variables[j].Cost * sol.X[j]
+		}
+		sol.Objective = obj
+	} else if status == StatusUnbounded {
+		sol.Objective = math.Inf(-1)
+	}
+	return sol, nil
+}
+
+// newSimplex loads the problem into solver form: one slack column per
+// constraint and, where the all-slack start is infeasible, one artificial
+// column whose phase-1 cost is 1.
+func newSimplex(p *Problem, opts Options) (*simplex, error) {
+	m := len(p.Constraints)
+	nStruct := len(p.Variables)
+	s := &simplex{
+		m:       m,
+		nStruct: nStruct,
+		tol:     opts.tolerance(),
+		refresh: opts.refactorEvery(),
+	}
+	s.maxIter = opts.maxIterations(m, nStruct)
+
+	// Column bounds and costs: structural variables then slacks.
+	total := nStruct + m
+	s.lower = make([]float64, total, total+m)
+	s.upper = make([]float64, total, total+m)
+	s.cost = make([]float64, total, total+m)
+	for j, v := range p.Variables {
+		lo, up := v.Lower, v.Upper
+		if opts.LowerOverride != nil {
+			if o, ok := opts.LowerOverride[j]; ok {
+				lo = o
+			}
+		}
+		if opts.UpperOverride != nil {
+			if o, ok := opts.UpperOverride[j]; ok {
+				up = o
+			}
+		}
+		if lo > up {
+			// A branch made the variable empty; the subproblem is trivially
+			// infeasible. Signal it through a contradictory fixed bound that
+			// the caller sees as StatusInfeasible without running pivots.
+			return &simplex{m: 0, n: 0, nStruct: nStruct, forcedInfeasible: true}, nil
+		}
+		s.lower[j] = lo
+		s.upper[j] = up
+		s.cost[j] = v.Cost
+	}
+	for i, c := range p.Constraints {
+		j := nStruct + i
+		switch c.Sense {
+		case LE:
+			s.lower[j], s.upper[j] = 0, Infinity
+		case GE:
+			s.lower[j], s.upper[j] = math.Inf(-1), 0
+		case EQ:
+			s.lower[j], s.upper[j] = 0, 0
+		default:
+			return nil, fmt.Errorf("lp: constraint %d has unknown sense %d", i, c.Sense)
+		}
+	}
+	s.n = total
+
+	// Dense tableau rows: structural coefficients plus the +1 slack.
+	s.tableau = make([][]float64, m)
+	for i := range s.tableau {
+		s.tableau[i] = make([]float64, total, total+m)
+	}
+	for i, c := range p.Constraints {
+		row := s.tableau[i]
+		for _, e := range c.Row {
+			row[e.Var] += e.Coef
+		}
+		row[nStruct+i] = 1
+	}
+
+	// Nonbasic structural variables start at the finite bound closest to
+	// zero; free variables start at zero.
+	s.status = make([]varStatus, total, total+m)
+	for j := 0; j < nStruct; j++ {
+		s.status[j] = initialStatus(s.lower[j], s.upper[j])
+	}
+
+	// Compute the slack value each row needs, and introduce artificials for
+	// rows where that value violates the slack bounds.
+	rhs := make([]float64, m)
+	for i, c := range p.Constraints {
+		acc := 0.0
+		for _, e := range c.Row {
+			acc += e.Coef * s.nonbasicValue(e.Var)
+		}
+		rhs[i] = c.RHS - acc
+	}
+	s.basis = make([]int, m)
+	s.beta = make([]float64, m)
+	s.artStart = total
+	for i := 0; i < m; i++ {
+		j := nStruct + i
+		need := rhs[i]
+		if need >= s.lower[j]-s.tol && need <= s.upper[j]+s.tol {
+			// Slack basis is feasible for this row.
+			s.basis[i] = j
+			s.beta[i] = clamp(need, s.lower[j], s.upper[j])
+			s.status[j] = inBasis
+			continue
+		}
+		// Park the slack at its nearest bound and cover the residual with an
+		// artificial variable of value |residual|.
+		var slackVal float64
+		if need < s.lower[j] {
+			slackVal = s.lower[j]
+			s.status[j] = atLower
+		} else {
+			slackVal = s.upper[j]
+			s.status[j] = atUpper
+		}
+		residual := need - slackVal
+		art := s.addArtificial(i, sign(residual))
+		if residual < 0 {
+			// The artificial column was added with coefficient −1, so the
+			// initial basis matrix has −1 on this diagonal entry; negate the
+			// whole row to keep the tableau equal to B⁻¹·A.
+			row := s.tableau[i]
+			for j := range row {
+				row[j] = -row[j]
+			}
+		}
+		s.basis[i] = art
+		s.beta[i] = math.Abs(residual)
+		s.status[art] = inBasis
+	}
+
+	// Phase-1 costs: 1 for artificials, 0 otherwise.
+	s.phase1Cost = make([]float64, s.n)
+	for j := s.artStart; j < s.n; j++ {
+		s.phase1Cost[j] = 1
+	}
+	return s, nil
+}
+
+// addArtificial appends an artificial column with coefficient sgn in row i
+// and returns its index.
+func (s *simplex) addArtificial(i int, sgn float64) int {
+	j := s.n
+	s.n++
+	s.lower = append(s.lower, 0)
+	s.upper = append(s.upper, Infinity)
+	s.cost = append(s.cost, 0)
+	s.status = append(s.status, atLower)
+	for r := range s.tableau {
+		v := 0.0
+		if r == i {
+			v = sgn
+		}
+		s.tableau[r] = append(s.tableau[r], v)
+	}
+	if s.artStart > j {
+		s.artStart = j
+	}
+	return j
+}
+
+func initialStatus(lo, up float64) varStatus {
+	loFin := !math.IsInf(lo, -1)
+	upFin := !math.IsInf(up, 1)
+	switch {
+	case loFin && upFin:
+		if math.Abs(up) < math.Abs(lo) {
+			return atUpper
+		}
+		return atLower
+	case loFin:
+		return atLower
+	case upFin:
+		return atUpper
+	default:
+		return atFree
+	}
+}
+
+// nonbasicValue returns the value a nonbasic column currently takes.
+func (s *simplex) nonbasicValue(j int) float64 {
+	switch s.status[j] {
+	case atLower:
+		return s.lower[j]
+	case atUpper:
+		return s.upper[j]
+	default:
+		return 0
+	}
+}
+
+func clamp(v, lo, up float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > up {
+		return up
+	}
+	return v
+}
+
+func sign(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,470 @@
+package milp
+
+import (
+	"container/heap"
+	"math"
+	"time"
+
+	"rficlayout/internal/lp"
+)
+
+// Status is the outcome of a MILP solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// StatusOptimal means the incumbent is proven optimal within the gap.
+	StatusOptimal Status = iota
+	// StatusFeasible means a limit was hit but an incumbent exists.
+	StatusFeasible
+	// StatusInfeasible means the model has no feasible assignment.
+	StatusInfeasible
+	// StatusUnbounded means the LP relaxation is unbounded.
+	StatusUnbounded
+	// StatusNoSolution means a limit was hit before any incumbent was found.
+	StatusNoSolution
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusFeasible:
+		return "feasible"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusNoSolution:
+		return "no-solution"
+	default:
+		return "unknown"
+	}
+}
+
+// HasSolution reports whether the status carries a usable assignment.
+func (s Status) HasSolution() bool { return s == StatusOptimal || s == StatusFeasible }
+
+// SolveOptions tunes the branch-and-bound search.
+type SolveOptions struct {
+	// TimeLimit bounds wall-clock time; zero means no limit.
+	TimeLimit time.Duration
+	// MaxNodes bounds the number of explored nodes; zero means a large
+	// default (1 << 20).
+	MaxNodes int
+	// MIPGap is the relative optimality gap at which search stops; zero
+	// means 1e-6.
+	MIPGap float64
+	// IntTol is the integrality tolerance; zero means 1e-6.
+	IntTol float64
+	// WarmStart, when non-nil and feasible, seeds the incumbent.
+	WarmStart []float64
+	// LPOptions are passed to every LP relaxation solve.
+	LPOptions lp.Options
+	// Logf, when non-nil, receives progress messages.
+	Logf func(format string, args ...interface{})
+}
+
+func (o SolveOptions) intTol() float64 {
+	if o.IntTol > 0 {
+		return o.IntTol
+	}
+	return 1e-6
+}
+
+func (o SolveOptions) mipGap() float64 {
+	if o.MIPGap > 0 {
+		return o.MIPGap
+	}
+	return 1e-6
+}
+
+func (o SolveOptions) maxNodes() int {
+	if o.MaxNodes > 0 {
+		return o.MaxNodes
+	}
+	return 1 << 20
+}
+
+// Result is the outcome of Model.Solve.
+type Result struct {
+	Status    Status
+	Objective float64   // incumbent objective including the constant term
+	Bound     float64   // best proven lower bound (minimization)
+	X         []float64 // incumbent assignment (nil when none)
+	Nodes     int
+	Runtime   time.Duration
+}
+
+// Gap returns the relative gap between incumbent and bound (0 when proven
+// optimal, +Inf when no incumbent).
+func (r *Result) Gap() float64 {
+	if r.X == nil {
+		return math.Inf(1)
+	}
+	denom := math.Max(1e-9, math.Abs(r.Objective))
+	return math.Max(0, (r.Objective-r.Bound)/denom)
+}
+
+// Value returns the incumbent value of variable v.
+func (r *Result) Value(v Var) float64 {
+	if r.X == nil {
+		return math.NaN()
+	}
+	return r.X[v]
+}
+
+// BoolValue returns the incumbent value of a binary variable as a bool.
+func (r *Result) BoolValue(v Var) bool {
+	return r.X != nil && r.X[v] > 0.5
+}
+
+// node is one branch-and-bound subproblem: the bound overrides accumulated
+// along the path from the root.
+type node struct {
+	lower map[int]float64
+	upper map[int]float64
+	bound float64 // parent LP objective: a valid lower bound for this node
+	depth int
+}
+
+// nodeQueue is a best-bound priority queue of open nodes.
+type nodeQueue []*node
+
+func (q nodeQueue) Len() int            { return len(q) }
+func (q nodeQueue) Less(i, j int) bool  { return q[i].bound < q[j].bound }
+func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*node)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Solve runs branch and bound on the model and returns the best solution
+// found. The model is not modified.
+func (m *Model) Solve(opts SolveOptions) (*Result, error) {
+	start := time.Now()
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	intTol := opts.intTol()
+	deadline := time.Time{}
+	if opts.TimeLimit > 0 {
+		deadline = start.Add(opts.TimeLimit)
+	}
+
+	prob := m.toLP()
+	res := &Result{Status: StatusNoSolution, Bound: math.Inf(-1), Objective: math.Inf(1)}
+
+	// Seed the incumbent from the warm start when it is feasible.
+	if opts.WarmStart != nil {
+		if ok, why := m.CheckFeasible(opts.WarmStart, 1e-6); ok {
+			x := make([]float64, m.NumVars())
+			copy(x, opts.WarmStart[:m.NumVars()])
+			res.X = x
+			res.Objective = m.Objective(x)
+			res.Status = StatusFeasible
+			logf("milp: warm start accepted, objective %.6g", res.Objective)
+		} else {
+			logf("milp: warm start rejected: %s", why)
+		}
+	}
+
+	integers := make([]int, 0, m.NumBinaries())
+	for j, t := range m.vtypes {
+		if t != Continuous {
+			integers = append(integers, j)
+		}
+	}
+
+	open := &nodeQueue{}
+	heap.Init(open)
+	heap.Push(open, &node{lower: map[int]float64{}, upper: map[int]float64{}, bound: math.Inf(-1)})
+
+	timedOut := false
+	rootSolved := false
+	for open.Len() > 0 {
+		if res.Nodes >= opts.maxNodes() {
+			timedOut = true
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			timedOut = true
+			break
+		}
+		nd := heap.Pop(open).(*node)
+		// Best-bound ordering means the popped node carries the smallest
+		// bound among open nodes: it is the current global lower bound.
+		if rootSolved && nd.bound > res.Bound {
+			res.Bound = nd.bound
+		}
+		// Prune against the incumbent before paying for the LP.
+		if res.X != nil && nd.bound >= res.Objective-1e-9 {
+			continue
+		}
+		res.Nodes++
+
+		lpOpts := opts.LPOptions
+		lpOpts.LowerOverride = nd.lower
+		lpOpts.UpperOverride = nd.upper
+		sol, err := lp.Solve(prob, lpOpts)
+		if err != nil {
+			return nil, err
+		}
+		switch sol.Status {
+		case lp.StatusInfeasible:
+			if res.Nodes == 1 && res.X == nil {
+				res.Status = StatusInfeasible
+				res.Runtime = time.Since(start)
+				return res, nil
+			}
+			continue
+		case lp.StatusUnbounded:
+			if res.Nodes == 1 && res.X == nil {
+				res.Status = StatusUnbounded
+				res.Runtime = time.Since(start)
+				return res, nil
+			}
+			continue
+		case lp.StatusIterLimit:
+			// Treat as an unusable node bound: keep the parent bound and
+			// do not branch further on this path.
+			logf("milp: node %d hit LP iteration limit", res.Nodes)
+			continue
+		}
+		rootSolved = true
+		lpObj := sol.Objective + m.objConstant
+		nd.bound = lpObj
+		if res.Nodes == 1 {
+			res.Bound = lpObj
+			// LP-guided dive from the root: greedily fix fractional integer
+			// variables to find a first incumbent quickly. Big-M disjunction
+			// models (the non-overlap constraints of the layout ILP) rarely
+			// produce integral relaxations, so pure best-bound search can
+			// wander for a long time without this.
+			if res.X == nil {
+				if x, obj, ok := m.dive(prob, opts, nd, sol.X, integers, deadline); ok {
+					res.X = x
+					res.Objective = obj
+					res.Status = StatusFeasible
+					logf("milp: dive incumbent %.6g", obj)
+				}
+			}
+		}
+
+		if res.X != nil && lpObj >= res.Objective-1e-9 {
+			continue // dominated
+		}
+
+		// Find the most fractional integer variable.
+		branchVar := -1
+		worstFrac := intTol
+		for _, j := range integers {
+			v := sol.X[j]
+			frac := math.Abs(v - math.Round(v))
+			if frac > worstFrac {
+				worstFrac = frac
+				branchVar = j
+			}
+		}
+
+		if branchVar < 0 {
+			// Integer feasible: candidate incumbent.
+			if res.X == nil || lpObj < res.Objective-1e-9 {
+				x := make([]float64, len(sol.X))
+				copy(x, sol.X)
+				for _, j := range integers {
+					x[j] = math.Round(x[j])
+				}
+				res.X = x
+				res.Objective = m.Objective(x)
+				res.Status = StatusFeasible
+				logf("milp: incumbent %.6g after %d nodes", res.Objective, res.Nodes)
+			}
+			continue
+		}
+
+		// Rounding heuristic: cheap attempt to produce an incumbent early.
+		if res.X == nil {
+			if x, ok := m.roundingHeuristic(sol.X, integers, intTol); ok {
+				obj := m.Objective(x)
+				if obj < res.Objective {
+					res.X = x
+					res.Objective = obj
+					res.Status = StatusFeasible
+					logf("milp: rounding heuristic incumbent %.6g", obj)
+				}
+			}
+		}
+
+		// Branch.
+		val := sol.X[branchVar]
+		down := &node{
+			lower: nd.lower, upper: copyWith(nd.upper, branchVar, math.Floor(val)),
+			bound: lpObj, depth: nd.depth + 1,
+		}
+		up := &node{
+			lower: copyWith(nd.lower, branchVar, math.Ceil(val)), upper: nd.upper,
+			bound: lpObj, depth: nd.depth + 1,
+		}
+		heap.Push(open, down)
+		heap.Push(open, up)
+
+		// Early stop on gap.
+		if res.X != nil {
+			gap := (res.Objective - res.Bound) / math.Max(1e-9, math.Abs(res.Objective))
+			if gap <= opts.mipGap() {
+				break
+			}
+		}
+	}
+
+	res.Runtime = time.Since(start)
+	if res.X != nil {
+		if !timedOut && open.Len() == 0 {
+			res.Status = StatusOptimal
+			res.Bound = res.Objective
+		} else if !timedOut && res.X != nil {
+			// Stopped on gap.
+			gap := (res.Objective - res.Bound) / math.Max(1e-9, math.Abs(res.Objective))
+			if gap <= opts.mipGap() {
+				res.Status = StatusOptimal
+			} else {
+				res.Status = StatusFeasible
+			}
+		} else {
+			res.Status = StatusFeasible
+		}
+		return res, nil
+	}
+	if timedOut {
+		res.Status = StatusNoSolution
+		return res, nil
+	}
+	// Search exhausted with no incumbent: infeasible.
+	res.Status = StatusInfeasible
+	return res, nil
+}
+
+// dive runs an LP-guided diving heuristic from the given node: it repeatedly
+// fixes the most fractional integer variable to its rounded value (flipping
+// to the opposite value when that makes the LP infeasible) until the
+// relaxation is integral or the dive fails. It returns the incumbent found.
+func (m *Model) dive(prob *lp.Problem, opts SolveOptions, nd *node, rootX []float64, integers []int, deadline time.Time) ([]float64, float64, bool) {
+	intTol := opts.intTol()
+	lower := copyMap(nd.lower)
+	upper := copyMap(nd.upper)
+	x := rootX
+	for iter := 0; iter <= len(integers)+4; iter++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return nil, 0, false
+		}
+		branchVar := -1
+		worst := intTol
+		for _, j := range integers {
+			frac := math.Abs(x[j] - math.Round(x[j]))
+			if frac > worst {
+				worst = frac
+				branchVar = j
+			}
+		}
+		if branchVar < 0 {
+			// Integral: verify against the full model and return.
+			rounded := make([]float64, len(x))
+			copy(rounded, x)
+			for _, j := range integers {
+				rounded[j] = math.Round(rounded[j])
+			}
+			if ok, _ := m.CheckFeasible(rounded, 1e-6); ok {
+				return rounded, m.Objective(rounded), true
+			}
+			return nil, 0, false
+		}
+		tryValues := []float64{math.Round(x[branchVar])}
+		other := 1 - tryValues[0]
+		if m.vtypes[branchVar] == Integer {
+			if tryValues[0] >= x[branchVar] {
+				other = tryValues[0] - 1
+			} else {
+				other = tryValues[0] + 1
+			}
+		}
+		tryValues = append(tryValues, other)
+		fixed := false
+		for _, v := range tryValues {
+			trialLower := copyMap(lower)
+			trialUpper := copyMap(upper)
+			trialLower[branchVar] = v
+			trialUpper[branchVar] = v
+			lpOpts := opts.LPOptions
+			lpOpts.LowerOverride = trialLower
+			lpOpts.UpperOverride = trialUpper
+			sol, err := lp.Solve(prob, lpOpts)
+			if err != nil || sol.Status != lp.StatusOptimal {
+				continue
+			}
+			lower, upper = trialLower, trialUpper
+			x = sol.X
+			fixed = true
+			break
+		}
+		if !fixed {
+			return nil, 0, false
+		}
+	}
+	return nil, 0, false
+}
+
+func copyMap(src map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(src)+1)
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+// roundingHeuristic rounds the fractional LP values of integer variables and
+// re-checks feasibility of the full model.
+func (m *Model) roundingHeuristic(x []float64, integers []int, tol float64) ([]float64, bool) {
+	rounded := make([]float64, len(x))
+	copy(rounded, x)
+	for _, j := range integers {
+		rounded[j] = math.Round(rounded[j])
+		// Keep within bounds.
+		if rounded[j] < m.lower[j] {
+			rounded[j] = math.Ceil(m.lower[j])
+		}
+		if rounded[j] > m.upper[j] {
+			rounded[j] = math.Floor(m.upper[j])
+		}
+	}
+	if ok, _ := m.CheckFeasible(rounded, 1e-6); ok {
+		return rounded, true
+	}
+	_ = tol
+	return nil, false
+}
+
+// copyWith clones the override map and sets key to value.
+func copyWith(src map[int]float64, key int, value float64) map[int]float64 {
+	out := make(map[int]float64, len(src)+1)
+	for k, v := range src {
+		out[k] = v
+	}
+	// Branches only ever tighten: keep the tighter of existing and new value
+	// to stay correct when the same variable is branched on twice.
+	if old, ok := out[key]; ok {
+		// Caller decides direction; tightening is handled by the caller
+		// passing floor/ceil of the current relaxation value, which is
+		// always at least as tight as the previous override.
+		_ = old
+	}
+	out[key] = value
+	return out
+}

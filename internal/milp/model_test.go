@@ -1,0 +1,335 @@
+package milp
+
+import (
+	"math"
+	"testing"
+
+	"rficlayout/internal/lp"
+)
+
+func TestExprBasics(t *testing.T) {
+	e := NewExpr().Add(0, 2).Add(1, -3).AddConst(5)
+	x := []float64{4, 1}
+	if got := e.Eval(x); got != 2*4-3*1+5 {
+		t.Errorf("Eval = %g", got)
+	}
+	e.Add(0, 1) // accumulate onto existing term
+	if got := e.Eval(x); got != 3*4-3*1+5 {
+		t.Errorf("Eval after accumulate = %g", got)
+	}
+	clone := e.Clone()
+	clone.Add(1, 100)
+	if e.Eval(x) == clone.Eval(x) {
+		t.Error("Clone is not independent")
+	}
+	sum := NewExpr().AddExpr(e, 2)
+	if got := sum.Eval(x); got != 2*e.Eval(x) {
+		t.Errorf("AddExpr scale = %g", got)
+	}
+	if Term(Var(1), 4).Eval(x) != 4 {
+		t.Error("Term wrong")
+	}
+	if Constant(7).Eval(x) != 7 {
+		t.Error("Constant wrong")
+	}
+	if NewExpr().Sub(0, 1).Eval(x) != -4 {
+		t.Error("Sub wrong")
+	}
+	terms := e.Terms()
+	if len(terms) != 2 || terms[0].Var != 0 || terms[1].Var != 1 {
+		t.Errorf("Terms = %v", terms)
+	}
+}
+
+func TestExprTermsDropsZeroCoefficients(t *testing.T) {
+	e := NewExpr().Add(0, 2).Add(0, -2).Add(1, 1)
+	terms := e.Terms()
+	if len(terms) != 1 || terms[0].Var != 1 {
+		t.Errorf("Terms = %v, want only var 1", terms)
+	}
+}
+
+func TestModelVariableAccounting(t *testing.T) {
+	m := NewModel()
+	x := m.AddContinuous("x", 0, 10)
+	b := m.AddBinary("b")
+	n := m.AddInteger("n", 0, 5)
+	if m.NumVars() != 3 || m.NumBinaries() != 2 {
+		t.Errorf("NumVars=%d NumBinaries=%d", m.NumVars(), m.NumBinaries())
+	}
+	if m.Name(x) != "x" || m.VarType(b) != Binary || m.VarType(n) != Integer {
+		t.Error("names or types wrong")
+	}
+	lo, up := m.Bounds(b)
+	if lo != 0 || up != 1 {
+		t.Errorf("binary bounds = [%g, %g]", lo, up)
+	}
+	m.SetBounds(x, 1, 4)
+	lo, up = m.Bounds(x)
+	if lo != 1 || up != 4 {
+		t.Errorf("SetBounds = [%g, %g]", lo, up)
+	}
+	if m.Stats() == "" {
+		t.Error("empty stats")
+	}
+	for _, vt := range []VarType{Continuous, Binary, Integer, VarType(9)} {
+		if vt.String() == "" {
+			t.Error("empty VarType string")
+		}
+	}
+}
+
+func TestObjectiveAccumulation(t *testing.T) {
+	m := NewModel()
+	x := m.AddContinuous("x", 0, 10)
+	y := m.AddContinuous("y", 0, 10)
+	m.SetObjectiveCoef(x, 2)
+	m.AddObjectiveCoef(x, 1)
+	m.AddObjectiveExpr(Term(y, 4).AddConst(3), 2)
+	assignment := []float64{1, 2}
+	// objective = 3x + 8y + 6 = 3 + 16 + 6 = 25
+	if got := m.Objective(assignment); got != 25 {
+		t.Errorf("Objective = %g, want 25", got)
+	}
+	if m.ObjectiveConstant() != 6 {
+		t.Errorf("ObjectiveConstant = %g", m.ObjectiveConstant())
+	}
+}
+
+func TestCheckFeasible(t *testing.T) {
+	m := NewModel()
+	x := m.AddContinuous("x", 0, 10)
+	b := m.AddBinary("b")
+	m.AddLE("cap", Term(x, 1).Add(b, 5), 8)
+	if ok, _ := m.CheckFeasible([]float64{3, 1}, 1e-6); !ok {
+		t.Error("feasible point rejected")
+	}
+	if ok, why := m.CheckFeasible([]float64{4, 1}, 1e-6); ok {
+		t.Error("constraint violation accepted")
+	} else if why == "" {
+		t.Error("missing violation description")
+	}
+	if ok, _ := m.CheckFeasible([]float64{3, 0.5}, 1e-6); ok {
+		t.Error("fractional binary accepted")
+	}
+	if ok, _ := m.CheckFeasible([]float64{-1, 0}, 1e-6); ok {
+		t.Error("bound violation accepted")
+	}
+	if ok, _ := m.CheckFeasible([]float64{1}, 1e-6); ok {
+		t.Error("short assignment accepted")
+	}
+}
+
+func TestCheckFeasibleSenses(t *testing.T) {
+	m := NewModel()
+	x := m.AddContinuous("x", -10, 10)
+	m.AddGE("ge", Term(x, 1), 2)
+	m.AddEQ("eq", Term(x, 2), 8)
+	if ok, _ := m.CheckFeasible([]float64{4}, 1e-6); !ok {
+		t.Error("x=4 should satisfy both")
+	}
+	if ok, _ := m.CheckFeasible([]float64{3}, 1e-6); ok {
+		t.Error("x=3 violates the equality")
+	}
+	if ok, _ := m.CheckFeasible([]float64{1}, 1e-6); ok {
+		t.Error("x=1 violates the ge constraint")
+	}
+}
+
+func TestConstraintConstantMovesToRHS(t *testing.T) {
+	// x + 3 <= 5 must behave as x <= 2.
+	m := NewModel()
+	x := m.AddContinuous("x", 0, 10)
+	m.SetObjectiveCoef(x, -1)
+	m.AddLE("c", Term(x, 1).AddConst(3), 5)
+	res, err := m.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Status.HasSolution() || math.Abs(res.Value(x)-2) > 1e-6 {
+		t.Errorf("x = %g, want 2 (status %v)", res.Value(x), res.Status)
+	}
+}
+
+func TestProductBinaryExprLinearization(t *testing.T) {
+	// y = z * x with x in [2, 6]. For each forced z, minimizing / maximizing
+	// y must reproduce the product.
+	build := func() (*Model, Var, Var, Var) {
+		m := NewModel()
+		x := m.AddContinuous("x", 2, 6)
+		z := m.AddBinary("z")
+		y := m.ProductBinaryExpr("y", z, Term(x, 1), 2, 6)
+		return m, x, z, y
+	}
+
+	// Force z = 0: y must be 0 regardless of x.
+	m, x, z, y := build()
+	m.AddEQ("fixz", Term(z, 1), 0)
+	m.AddEQ("fixx", Term(x, 1), 5)
+	m.SetObjectiveCoef(y, -1) // maximize y
+	res, err := m.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Status.HasSolution() || math.Abs(res.Value(y)) > 1e-6 {
+		t.Errorf("z=0: y = %g, want 0", res.Value(y))
+	}
+
+	// Force z = 1, x = 5: y must be 5 whether minimized or maximized.
+	for _, sign := range []float64{1, -1} {
+		m, x, z, y = build()
+		m.AddEQ("fixz", Term(z, 1), 1)
+		m.AddEQ("fixx", Term(x, 1), 5)
+		m.SetObjectiveCoef(y, sign)
+		res, err = m.Solve(SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Status.HasSolution() || math.Abs(res.Value(y)-5) > 1e-6 {
+			t.Errorf("z=1 sign=%g: y = %g, want 5", sign, res.Value(y))
+		}
+	}
+}
+
+func TestProductBinaryExprPanics(t *testing.T) {
+	m := NewModel()
+	x := m.AddContinuous("x", 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-binary z")
+		}
+	}()
+	m.ProductBinaryExpr("y", x, Term(x, 1), 0, 1)
+}
+
+func TestAbsEnvelope(t *testing.T) {
+	// u >= |x - 7|, minimize u with x fixed: u must equal |x-7|.
+	for _, fixed := range []float64{3, 7, 12} {
+		m := NewModel()
+		x := m.AddContinuous("x", 0, 20)
+		m.AddEQ("fix", Term(x, 1), fixed)
+		u := m.AbsEnvelope("u", Term(x, 1).AddConst(-7), 100)
+		m.SetObjectiveCoef(u, 1)
+		res, err := m.Solve(SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Abs(fixed - 7)
+		if !res.Status.HasSolution() || math.Abs(res.Value(u)-want) > 1e-6 {
+			t.Errorf("x=%g: u = %g, want %g", fixed, res.Value(u), want)
+		}
+	}
+}
+
+func TestMaxEnvelope(t *testing.T) {
+	m := NewModel()
+	a := m.AddContinuous("a", 0, 10)
+	b := m.AddContinuous("b", 0, 10)
+	m.AddEQ("fa", Term(a, 1), 3)
+	m.AddEQ("fb", Term(b, 1), 8)
+	mx := m.MaxEnvelope("max", 100, Term(a, 1), Term(b, 1))
+	m.SetObjectiveCoef(mx, 1)
+	res, err := m.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Status.HasSolution() || math.Abs(res.Value(mx)-8) > 1e-6 {
+		t.Errorf("max = %g, want 8", res.Value(mx))
+	}
+}
+
+func TestImpliedConstraints(t *testing.T) {
+	// z = 1 forces x <= 3; maximize x with z fixed to 1 and to 0.
+	const bigM = 100
+	for _, zval := range []float64{0, 1} {
+		m := NewModel()
+		x := m.AddContinuous("x", 0, 10)
+		z := m.AddBinary("z")
+		m.AddEQ("fixz", Term(z, 1), zval)
+		m.AddImpliedLE("imp", z, Term(x, 1), 3, bigM)
+		m.SetObjectiveCoef(x, -1)
+		res, err := m.Solve(SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 10.0
+		if zval == 1 {
+			want = 3
+		}
+		if !res.Status.HasSolution() || math.Abs(res.Value(x)-want) > 1e-6 {
+			t.Errorf("z=%g: x = %g, want %g", zval, res.Value(x), want)
+		}
+	}
+
+	// z = 1 forces x >= 6; minimize x.
+	for _, zval := range []float64{0, 1} {
+		m := NewModel()
+		x := m.AddContinuous("x", 0, 10)
+		z := m.AddBinary("z")
+		m.AddEQ("fixz", Term(z, 1), zval)
+		m.AddImpliedGE("imp", z, Term(x, 1), 6, bigM)
+		m.SetObjectiveCoef(x, 1)
+		res, err := m.Solve(SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.0
+		if zval == 1 {
+			want = 6
+		}
+		if !res.Status.HasSolution() || math.Abs(res.Value(x)-want) > 1e-6 {
+			t.Errorf("z=%g: x = %g, want %g", zval, res.Value(x), want)
+		}
+	}
+}
+
+func TestAddDisabledLE(t *testing.T) {
+	// x <= 2 unless u = 1 (then effectively x <= 2 + M).
+	const bigM = 50
+	for _, uval := range []float64{0, 1} {
+		m := NewModel()
+		x := m.AddContinuous("x", 0, 10)
+		u := m.AddBinary("u")
+		m.AddEQ("fixu", Term(u, 1), uval)
+		m.AddDisabledLE("dis", u, Term(x, 1), 2, bigM)
+		m.SetObjectiveCoef(x, -1)
+		res, err := m.Solve(SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 2.0
+		if uval == 1 {
+			want = 10 // variable bound binds before the relaxed constraint
+		}
+		if !res.Status.HasSolution() || math.Abs(res.Value(x)-want) > 1e-6 {
+			t.Errorf("u=%g: x = %g, want %g", uval, res.Value(x), want)
+		}
+	}
+}
+
+func TestBinaryBoundsClampedOnAdd(t *testing.T) {
+	m := NewModel()
+	b := m.AddVar("b", -5, 9, Binary)
+	lo, up := m.Bounds(b)
+	if lo != 0 || up != 1 {
+		t.Errorf("binary bounds = [%g, %g], want [0, 1]", lo, up)
+	}
+}
+
+func TestToLPSharesIndices(t *testing.T) {
+	m := NewModel()
+	x := m.AddContinuous("x", 0, 4)
+	b := m.AddBinary("b")
+	m.SetObjectiveCoef(x, 1)
+	m.AddLE("c", Term(x, 1).Add(b, 2), 4)
+	p := m.toLP()
+	if p.NumVariables() != 2 || p.NumConstraints() != 1 {
+		t.Fatalf("lp size = %d vars, %d cons", p.NumVariables(), p.NumConstraints())
+	}
+	if p.Variables[int(x)].Name != "x" || p.Variables[int(b)].Upper != 1 {
+		t.Error("lp variables not aligned with model variables")
+	}
+	if p.Constraints[0].Sense != lp.LE {
+		t.Error("constraint sense lost")
+	}
+}

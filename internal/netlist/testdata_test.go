@@ -1,0 +1,22 @@
+package netlist
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestParseRepositoryExampleCircuit keeps the example circuit file that ships
+// in testdata/ (and that README/cmd/rficgen point at) parseable.
+func TestParseRepositoryExampleCircuit(t *testing.T) {
+	path := filepath.Join("..", "..", "testdata", "twostage.rfic")
+	c, err := ParseFile(path)
+	if err != nil {
+		t.Fatalf("example circuit no longer parses: %v", err)
+	}
+	if len(c.Devices) != 5 || len(c.Microstrips) != 4 {
+		t.Errorf("example circuit has %d devices / %d strips", len(c.Devices), len(c.Microstrips))
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("example circuit invalid: %v", err)
+	}
+}

@@ -1,0 +1,542 @@
+package pilp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rficlayout/internal/geom"
+	"rficlayout/internal/ilpmodel"
+	"rficlayout/internal/layout"
+	"rficlayout/internal/milp"
+	"rficlayout/internal/netlist"
+)
+
+// Options tunes the progressive flow.
+type Options struct {
+	// ChainPoints is the default chain-point count per microstrip in the
+	// per-strip exact models (phase 2). Zero means 4.
+	ChainPoints int
+	// MaxChainPoints bounds chain-point insertion during refinement. Zero
+	// means 8.
+	MaxChainPoints int
+	// Confinement is the τd window of phases 2–3. Zero means 40 µm.
+	Confinement geom.Coord
+	// PairRadius prunes non-overlap pairs farther apart than this. Zero
+	// means 80 µm.
+	PairRadius geom.Coord
+	// StripTimeLimit bounds each per-strip ILP solve. Zero means 5 s.
+	StripTimeLimit time.Duration
+	// PhaseTimeLimit bounds the global adjustment solve of phase 1. Zero
+	// means 30 s.
+	PhaseTimeLimit time.Duration
+	// MaxRefineIterations bounds phase 3. Zero means 3.
+	MaxRefineIterations int
+	// TryRotations enables device-rotation exploration in phase 3.
+	TryRotations bool
+	// Logf, when non-nil, receives progress messages.
+	Logf func(format string, args ...interface{})
+}
+
+func (o Options) chainPoints() int {
+	if o.ChainPoints >= 2 {
+		return o.ChainPoints
+	}
+	return 4
+}
+
+func (o Options) maxChainPoints() int {
+	if o.MaxChainPoints >= o.chainPoints() {
+		return o.MaxChainPoints
+	}
+	return 8
+}
+
+func (o Options) confinement() geom.Coord {
+	if o.Confinement > 0 {
+		return o.Confinement
+	}
+	return geom.FromMicrons(40)
+}
+
+func (o Options) pairRadius() geom.Coord {
+	if o.PairRadius > 0 {
+		return o.PairRadius
+	}
+	return geom.FromMicrons(80)
+}
+
+func (o Options) stripTimeLimit() time.Duration {
+	if o.StripTimeLimit > 0 {
+		return o.StripTimeLimit
+	}
+	return 5 * time.Second
+}
+
+func (o Options) phaseTimeLimit() time.Duration {
+	if o.PhaseTimeLimit > 0 {
+		return o.PhaseTimeLimit
+	}
+	return 30 * time.Second
+}
+
+func (o Options) refineIterations() int {
+	if o.MaxRefineIterations > 0 {
+		return o.MaxRefineIterations
+	}
+	return 3
+}
+
+func (o Options) logf(format string, args ...interface{}) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Snapshot records the layout state after one phase of the flow, mirroring
+// the per-phase snapshots of Figure 7.
+type Snapshot struct {
+	Phase      string
+	Layout     *layout.Layout
+	Metrics    layout.Metrics
+	Violations int
+	Elapsed    time.Duration
+}
+
+// Result is the outcome of the progressive flow.
+type Result struct {
+	Layout    *layout.Layout
+	Snapshots []Snapshot
+	Runtime   time.Duration
+}
+
+// Violations returns the design-rule violations of the final layout.
+func (r *Result) Violations() []layout.Violation {
+	return checkLayout(r.Layout)
+}
+
+// checkOptions are the DRC settings used throughout the flow: exact lengths
+// within the 10 nm rounding tolerance, pins within 2 nm.
+func checkLayout(l *layout.Layout) []layout.Violation {
+	return l.Check(layout.CheckOptions{PinTolerance: 2})
+}
+
+// score ranks layouts during the flow: design-rule violations dominate, then
+// total bends, then accumulated length error.
+func score(l *layout.Layout) float64 {
+	vs := checkLayout(l)
+	m := l.Metrics()
+	return 1e6*float64(len(vs)) + 100*float64(m.TotalBends) + geom.Microns(m.TotalLengthError)
+}
+
+// Generate runs the full progressive flow on the circuit.
+func Generate(c *netlist.Circuit, opts Options) (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+
+	// Phase 1a: constructive placement and planar routing with blurred
+	// device clearances.
+	current, err := Construct(c)
+	if err != nil {
+		return nil, err
+	}
+	opts.logf("pilp: constructed initial layout: %s", current.Metrics())
+
+	// Phase 1b: global coordinate adjustment — soft lengths, penalized
+	// overlap, relative positions kept, topology fixed (Eq. 23–28).
+	adjusted, err := globalAdjust(c, current, opts)
+	if err != nil {
+		opts.logf("pilp: global adjustment failed: %v", err)
+	} else if adjusted != nil && score(adjusted) <= score(current) {
+		current = adjusted
+	}
+	res.addSnapshot("phase1-blurred-routing", current, time.Since(start))
+	opts.logf("pilp: phase 1 done: %s", current.Metrics())
+
+	// Phase 2: device visualization and overlap fixing — per-strip exact
+	// length models against real device geometry.
+	current = exactLengthPass(c, current, opts)
+	res.addSnapshot("phase2-overlap-fixing", current, time.Since(start))
+	opts.logf("pilp: phase 2 done: %s", current.Metrics())
+
+	// Phase 3: iterative refinement with chain-point deletion/insertion and
+	// device rotation.
+	current = refine(c, current, opts)
+	res.addSnapshot("phase3-refinement", current, time.Since(start))
+	opts.logf("pilp: phase 3 done: %s", current.Metrics())
+
+	res.Layout = current
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+func (r *Result) addSnapshot(phase string, l *layout.Layout, elapsed time.Duration) {
+	r.Snapshots = append(r.Snapshots, Snapshot{
+		Phase:      phase,
+		Layout:     l.Clone(),
+		Metrics:    l.Metrics(),
+		Violations: len(checkLayout(l)),
+		Elapsed:    elapsed,
+	})
+}
+
+// globalAdjust solves the phase-1 model: every non-pad device and every
+// strip coordinate may move within a generous confinement window, lengths
+// are soft, overlap is penalized, and relative positions plus topology come
+// from the constructed layout, so the model is a pure LP apart from the pad
+// boundary choice (pads stay fixed here).
+func globalAdjust(c *netlist.Circuit, current *layout.Layout, opts Options) (*layout.Layout, error) {
+	freeDevices := []string{}
+	for _, d := range c.NonPadDevices() {
+		freeDevices = append(freeDevices, d.Name)
+	}
+	chainPoints := map[string]int{}
+	for _, ms := range c.Microstrips {
+		rs := current.Routed(ms.Name)
+		if rs == nil {
+			return nil, fmt.Errorf("pilp: strip %q missing from constructed layout", ms.Name)
+		}
+		chainPoints[ms.Name] = len(rs.Path.Points)
+	}
+	cfg := ilpmodel.Config{
+		ChainPoints:       chainPoints,
+		FreeDevices:       freeDevices,
+		Fixed:             current,
+		SoftLength:        true,
+		OverlapSlack:      true,
+		FixTopology:       true,
+		RelativePositions: true,
+		Confinement:       3 * opts.confinement(),
+		PairRadius:        opts.pairRadius(),
+	}
+	m, err := ilpmodel.Build(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	opts.logf("pilp: global adjustment model: %s", m.Stats())
+	lay, result, err := m.SolveAndExtract(milp.SolveOptions{TimeLimit: opts.phaseTimeLimit()})
+	if err != nil {
+		return nil, err
+	}
+	if lay == nil {
+		return nil, fmt.Errorf("pilp: global adjustment found no solution (status %v)", result.Status)
+	}
+	return lay, nil
+}
+
+// exactLengthPass drives every microstrip to its exact equivalent length with
+// per-strip exact models, worst offenders first.
+func exactLengthPass(c *netlist.Circuit, current *layout.Layout, opts Options) *layout.Layout {
+	delta := c.Tech.BendCompensation
+	strips := append([]*netlist.Microstrip(nil), c.Microstrips...)
+	sort.Slice(strips, func(i, j int) bool {
+		ei := geom.AbsCoord(current.Routed(strips[i].Name).LengthError(delta))
+		ej := geom.AbsCoord(current.Routed(strips[j].Name).LengthError(delta))
+		return ei > ej
+	})
+	for _, ms := range strips {
+		current = solveStripToTarget(c, current, ms.Name, opts)
+	}
+	return current
+}
+
+// solveStripToTarget re-solves a single strip (growing its chain points when
+// needed) until its exact length is met without new violations, keeping the
+// best layout found. When the strip alone cannot be fixed — typically because
+// a strip sharing the same pin blocks its detour corridor — the strips of the
+// whole junction are re-solved together.
+func solveStripToTarget(c *netlist.Circuit, current *layout.Layout, strip string, opts Options) *layout.Layout {
+	best := current
+	bestScore := score(current)
+	adopt := func(candidate *layout.Layout, ok bool) bool {
+		if !ok {
+			return false
+		}
+		if s := score(candidate); s < bestScore {
+			best, bestScore = candidate, s
+		}
+		return stripClean(candidate, strip)
+	}
+	for n := opts.chainPoints(); n <= opts.maxChainPoints(); n++ {
+		candidate, ok := solveStrips(c, current, []string{strip}, n, nil, opts)
+		if adopt(candidate, ok) {
+			return best
+		}
+	}
+	if partners := junctionPartners(c, strip); len(partners) > 1 {
+		for n := opts.chainPoints(); n <= opts.maxChainPoints(); n++ {
+			candidate, ok := solveStrips(c, best, partners, n, nil, opts)
+			if adopt(candidate, ok) {
+				return best
+			}
+		}
+	}
+	return best
+}
+
+// junctionPartners returns the strip together with every strip that shares a
+// terminal pin with it, sorted by name.
+func junctionPartners(c *netlist.Circuit, strip string) []string {
+	ms, err := c.Microstrip(strip)
+	if err != nil {
+		return []string{strip}
+	}
+	set := map[string]bool{strip: true}
+	for _, other := range c.Microstrips {
+		if other.Name == strip {
+			continue
+		}
+		for _, t := range []netlist.Terminal{other.From, other.To} {
+			if t == ms.From || t == ms.To {
+				set[other.Name] = true
+			}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// stripClean reports whether the named strip contributes no violations.
+func stripClean(l *layout.Layout, strip string) bool {
+	for _, v := range checkLayout(l) {
+		if v.Subject == strip || v.Other == strip {
+			return false
+		}
+	}
+	return true
+}
+
+// solveStrips builds and solves an exact model in which the listed strips
+// (and optionally the listed devices, confined to τd) are free while the rest
+// of the layout stays fixed. It returns the extracted layout and whether a
+// solution was found.
+func solveStrips(c *netlist.Circuit, current *layout.Layout, strips []string, chainPoints int, freeDevices []string, opts Options) (*layout.Layout, bool) {
+	warm := current.Clone()
+	cpMap := map[string]int{}
+	for _, strip := range strips {
+		rs := warm.Routed(strip)
+		if rs == nil {
+			return nil, false
+		}
+		resampled := resamplePath(rs.Path.Points, chainPoints)
+		if err := warm.Route(strip, resampled...); err != nil {
+			return nil, false
+		}
+		cpMap[strip] = len(resampled)
+	}
+	if freeDevices == nil {
+		freeDevices = []string{}
+	}
+	cfg := ilpmodel.Config{
+		ChainPoints: cpMap,
+		FreeStrips:  strips,
+		FreeDevices: freeDevices,
+		Fixed:       warm,
+		PairRadius:  opts.pairRadius(),
+	}
+	if len(freeDevices) > 0 {
+		cfg.Confinement = opts.confinement()
+	}
+	m, err := ilpmodel.Build(c, cfg)
+	if err != nil {
+		opts.logf("pilp: model build for %v failed: %v", strips, err)
+		return nil, false
+	}
+	lay, _, err := m.SolveAndExtract(milp.SolveOptions{TimeLimit: opts.stripTimeLimit()})
+	if err != nil || lay == nil {
+		return nil, false
+	}
+	return lay, true
+}
+
+// resamplePath collapses redundant chain points and then inserts collinear
+// midpoints on the longest legs until the path has at least n points; this is
+// the chain-point deletion/insertion primitive of phase 3. The result always
+// remains rectilinear.
+func resamplePath(pts []geom.Point, n int) []geom.Point {
+	out := append([]geom.Point(nil), pts...)
+	if len(out) > n {
+		simplified := (geom.Polyline{Points: out, Width: 1}).Simplify().Points
+		if len(simplified) >= 2 {
+			out = simplified
+		}
+	}
+	for len(out) < n {
+		// Split the longest leg in half.
+		longest := 0
+		var longestLen geom.Coord = -1
+		for i := 1; i < len(out); i++ {
+			if l := out[i-1].ManhattanTo(out[i]); l > longestLen {
+				longestLen = l
+				longest = i
+			}
+		}
+		a, b := out[longest-1], out[longest]
+		mid := geom.Pt((a.X+b.X)/2, (a.Y+b.Y)/2)
+		rest := append([]geom.Point{mid}, out[longest:]...)
+		out = append(out[:longest], rest...)
+	}
+	return out
+}
+
+// refine is phase 3: chain points without bends are removed, strips that
+// still violate a rule get more chain points, neighbouring devices may move
+// within τd, and device rotations are explored.
+func refine(c *netlist.Circuit, current *layout.Layout, opts Options) *layout.Layout {
+	for iter := 0; iter < opts.refineIterations(); iter++ {
+		// Chain-point deletion: simplify every route in place.
+		simplified := current.Clone()
+		for _, rs := range current.RoutedStrips() {
+			pts := rs.Path.Simplify().Points
+			if len(pts) >= 2 {
+				_ = simplified.Route(rs.Strip.Name, pts...)
+			}
+		}
+		if score(simplified) <= score(current) {
+			current = simplified
+		}
+
+		violations := checkLayout(current)
+		if len(violations) == 0 && current.Metrics().TotalBends == 0 {
+			break
+		}
+
+		// Collect the strips that still cause trouble.
+		trouble := map[string]bool{}
+		for _, v := range violations {
+			if _, err := c.Microstrip(v.Subject); err == nil {
+				trouble[v.Subject] = true
+			}
+			if v.Other != "" {
+				if _, err := c.Microstrip(v.Other); err == nil {
+					trouble[v.Other] = true
+				}
+			}
+		}
+		if len(trouble) == 0 && len(violations) > 0 {
+			// Violations that involve only devices: free the devices with
+			// their incident strips.
+			for _, v := range violations {
+				for _, ms := range c.StripsAt(v.Subject) {
+					trouble[ms.Name] = true
+				}
+			}
+		}
+
+		improved := false
+		names := sortedKeys(trouble)
+		for _, strip := range names {
+			before := score(current)
+			for n := opts.chainPoints(); n <= opts.maxChainPoints(); n++ {
+				// First with only the strip free, then with its non-pad
+				// terminal devices (and their other strips) free within τd —
+				// the device-movement freedom of phase 3.
+				candidate, ok := solveStrips(c, current, []string{strip}, n, nil, opts)
+				if !ok || score(candidate) >= before {
+					strips, devs := neighbourhood(c, strip)
+					candidate, ok = solveStrips(c, current, strips, n, devs, opts)
+				}
+				if !ok {
+					continue
+				}
+				if s := score(candidate); s < before {
+					current = candidate
+					improved = true
+					break
+				}
+			}
+		}
+
+		if opts.TryRotations && len(checkLayout(current)) > 0 {
+			var rotated bool
+			current, rotated = tryRotations(c, current, opts)
+			improved = improved || rotated
+		}
+		if !improved {
+			break
+		}
+	}
+	return current
+}
+
+// tryRotations explores the four orientations of the devices that still
+// participate in violations, re-solving their incident strips each time, and
+// keeps the best result.
+func tryRotations(c *netlist.Circuit, current *layout.Layout, opts Options) (*layout.Layout, bool) {
+	violations := checkLayout(current)
+	devices := map[string]bool{}
+	for _, v := range violations {
+		if d, err := c.Device(v.Subject); err == nil && !d.IsPad() {
+			devices[v.Subject] = true
+		}
+		if v.Other != "" {
+			if d, err := c.Device(v.Other); err == nil && !d.IsPad() {
+				devices[v.Other] = true
+			}
+		}
+	}
+	improved := false
+	for _, name := range sortedKeys(devices) {
+		base := current.Placed(name)
+		if base == nil {
+			continue
+		}
+		bestScore := score(current)
+		bestLayout := current
+		var incident []string
+		for _, ms := range c.StripsAt(name) {
+			incident = append(incident, ms.Name)
+		}
+		for _, o := range []geom.Orientation{geom.R90, geom.R180, geom.R270} {
+			candidate := current.Clone()
+			if err := candidate.Place(name, base.Center, base.Orient.Plus(o)); err != nil {
+				continue
+			}
+			// Re-solve all incident strips together against the rotated pins.
+			next, solved := solveStrips(c, candidate, incident, opts.chainPoints(), nil, opts)
+			if !solved {
+				continue
+			}
+			if s := score(next); s < bestScore {
+				bestScore = s
+				bestLayout = next
+			}
+		}
+		if bestLayout != current {
+			current = bestLayout
+			improved = true
+		}
+	}
+	return current, improved
+}
+
+// neighbourhood returns the strip together with its non-pad terminal devices
+// and every strip incident to those devices, which is the local problem the
+// refinement phase frees when the strip alone cannot be fixed.
+func neighbourhood(c *netlist.Circuit, strip string) (strips []string, devices []string) {
+	stripSet := map[string]bool{strip: true}
+	ms, err := c.Microstrip(strip)
+	if err != nil {
+		return []string{strip}, nil
+	}
+	for _, dev := range []string{ms.From.Device, ms.To.Device} {
+		d, err := c.Device(dev)
+		if err != nil || d.IsPad() {
+			continue
+		}
+		devices = append(devices, dev)
+		for _, incident := range c.StripsAt(dev) {
+			stripSet[incident.Name] = true
+		}
+	}
+	strips = sortedKeys(stripSet)
+	return strips, devices
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,79 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rficlayout/internal/emsim"
+	"rficlayout/internal/geom"
+	"rficlayout/internal/layout"
+	"rficlayout/internal/netlist"
+	"rficlayout/internal/tech"
+)
+
+func TestFormatTable1(t *testing.T) {
+	rows := []Table1Row{
+		{
+			Circuit: "lna94", Microstrips: 25, Devices: 34,
+			AreaWidth: geom.FromMicrons(890), AreaHeight: geom.FromMicrons(615),
+			ManualAvailable: true, ManualMaxBends: 9, ManualTotalBends: 59, ManualRuntime: time.Minute,
+			PILPMaxBends: 4, PILPTotalBends: 22, PILPRuntime: 18 * time.Minute,
+		},
+		{
+			Circuit: "lna94", Microstrips: 25, Devices: 34,
+			AreaWidth: geom.FromMicrons(845), AreaHeight: geom.FromMicrons(580),
+			PILPMaxBends: 5, PILPTotalBends: 29, PILPRuntime: 28 * time.Minute, PILPUnmatched: 1,
+		},
+	}
+	out := FormatTable1(rows)
+	for _, want := range []string{"lna94", "890×615", "845×580", "59", "22", "n/a", "not exactly matched"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatSweep(t *testing.T) {
+	out := FormatSweep("demo", []emsim.Result{{FreqGHz: 60, S11dB: -12, S21dB: 17, S22dB: -9}})
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "17.000") {
+		t.Errorf("sweep output wrong:\n%s", out)
+	}
+}
+
+func smallLayout(t *testing.T) *layout.Layout {
+	t.Helper()
+	c := netlist.NewCircuit("r", tech.Default90nm(), geom.FromMicrons(300), geom.FromMicrons(200))
+	c.AddDevice(netlist.NewPad("P1", c.Tech.PadSize))
+	c.AddDevice(netlist.NewPad("P2", c.Tech.PadSize))
+	c.Connect("TL", "P1", "p", "P2", "p", geom.FromMicrons(300))
+	l := layout.New(c)
+	if err := l.Place("P1", geom.Pt(0, geom.FromMicrons(100)), geom.R0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Place("P2", geom.Pt(c.AreaWidth, geom.FromMicrons(100)), geom.R0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Route("TL", geom.Pt(0, geom.FromMicrons(100)), geom.Pt(c.AreaWidth, geom.FromMicrons(100))); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLayoutSummaryAndUnmatched(t *testing.T) {
+	l := smallLayout(t)
+	s := LayoutSummary("demo", l, 42*time.Millisecond)
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "42ms") {
+		t.Errorf("summary = %q", s)
+	}
+	// The straight 300 µm route equals the 300 µm target → 0 unmatched.
+	if got := UnmatchedStrips(l, 10); got != 0 {
+		t.Errorf("unmatched = %d, want 0", got)
+	}
+	// Tighten the target so it no longer matches.
+	ms, _ := l.Circuit.Microstrip("TL")
+	ms.TargetLength = geom.FromMicrons(250)
+	if got := UnmatchedStrips(l, 10); got != 1 {
+		t.Errorf("unmatched = %d, want 1", got)
+	}
+}

@@ -1,0 +1,102 @@
+// Package tech describes the process technology parameters that the RFIC
+// layout generator needs: the thin-film microstrip geometry (Figure 1 of the
+// paper), the coupling-driven spacing rule, and the equivalent-length
+// compensation of smoothed bends (Figure 3).
+package tech
+
+import (
+	"fmt"
+
+	"rficlayout/internal/geom"
+)
+
+// Technology bundles the layout-relevant parameters of a CMOS process with
+// thin-film microstrip transmission lines.
+type Technology struct {
+	// Name identifies the process, e.g. "cmos90".
+	Name string
+	// GroundDistance is t: the dielectric distance between the microstrip
+	// layer (top metal) and its ground plane (Metal 1). About 5 µm in 90 nm
+	// CMOS.
+	GroundDistance geom.Coord
+	// MicrostripWidth is the default width of microstrip lines.
+	MicrostripWidth geom.Coord
+	// BendCompensation is δ: the signed equivalent-length change applied for
+	// every smoothed 90° bend. A 45° shortcut propagates slightly shorter
+	// than the two legs it replaces, so δ is typically negative.
+	BendCompensation geom.Coord
+	// SpacingOverride, when non-zero, replaces the default 2·t spacing rule
+	// between microstrips/devices.
+	SpacingOverride geom.Coord
+	// PadSize is the edge length of the square I/O pads.
+	PadSize geom.Coord
+}
+
+// Default90nm returns the parameters the paper quotes for a 90 nm CMOS
+// process: t ≈ 5 µm, hence 10 µm spacing, 10 µm wide microstrips, 60 µm pads
+// and a −4 µm equivalent-length correction per smoothed bend.
+func Default90nm() Technology {
+	return Technology{
+		Name:             "cmos90",
+		GroundDistance:   geom.FromMicrons(5),
+		MicrostripWidth:  geom.FromMicrons(10),
+		BendCompensation: geom.FromMicrons(-4),
+		PadSize:          geom.FromMicrons(60),
+	}
+}
+
+// Spacing returns the required minimum distance between any two microstrip
+// segments or devices: 2·t unless overridden.
+func (t Technology) Spacing() geom.Coord {
+	if t.SpacingOverride > 0 {
+		return t.SpacingOverride
+	}
+	return 2 * t.GroundDistance
+}
+
+// Clearance returns the per-shape bounding-box expansion that encodes the
+// spacing rule: expanding every shape by Clearance on each side and requiring
+// the expanded boxes not to overlap enforces Spacing between the shapes.
+func (t Technology) Clearance() geom.Coord {
+	return t.Spacing() / 2
+}
+
+// StripWidth returns the width to use for a microstrip that did not specify
+// its own.
+func (t Technology) StripWidth(requested geom.Coord) geom.Coord {
+	if requested > 0 {
+		return requested
+	}
+	return t.MicrostripWidth
+}
+
+// Validate checks that the parameters are physically meaningful.
+func (t Technology) Validate() error {
+	if t.GroundDistance <= 0 {
+		return fmt.Errorf("tech %q: ground distance must be positive, got %d nm", t.Name, t.GroundDistance)
+	}
+	if t.MicrostripWidth <= 0 {
+		return fmt.Errorf("tech %q: microstrip width must be positive, got %d nm", t.Name, t.MicrostripWidth)
+	}
+	if t.PadSize <= 0 {
+		return fmt.Errorf("tech %q: pad size must be positive, got %d nm", t.Name, t.PadSize)
+	}
+	if t.SpacingOverride < 0 {
+		return fmt.Errorf("tech %q: spacing override must not be negative, got %d nm", t.Name, t.SpacingOverride)
+	}
+	if geom.AbsCoord(t.BendCompensation) >= t.MicrostripWidth*4 {
+		return fmt.Errorf("tech %q: bend compensation %d nm is implausibly large", t.Name, t.BendCompensation)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (t Technology) String() string {
+	return fmt.Sprintf("%s: t=%.1fµm spacing=%.1fµm strip=%.1fµm δ=%.1fµm pad=%.1fµm",
+		t.Name,
+		geom.Microns(t.GroundDistance),
+		geom.Microns(t.Spacing()),
+		geom.Microns(t.MicrostripWidth),
+		geom.Microns(t.BendCompensation),
+		geom.Microns(t.PadSize))
+}

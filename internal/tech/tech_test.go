@@ -1,0 +1,67 @@
+package tech
+
+import (
+	"testing"
+
+	"rficlayout/internal/geom"
+)
+
+func TestDefault90nm(t *testing.T) {
+	tc := Default90nm()
+	if err := tc.Validate(); err != nil {
+		t.Fatalf("default technology invalid: %v", err)
+	}
+	if tc.GroundDistance != geom.FromMicrons(5) {
+		t.Errorf("t = %d nm, want 5000", tc.GroundDistance)
+	}
+	if tc.Spacing() != geom.FromMicrons(10) {
+		t.Errorf("spacing = %d nm, want 10000 (2t)", tc.Spacing())
+	}
+	if tc.Clearance() != geom.FromMicrons(5) {
+		t.Errorf("clearance = %d nm, want 5000", tc.Clearance())
+	}
+	if tc.String() == "" {
+		t.Error("empty string representation")
+	}
+}
+
+func TestSpacingOverride(t *testing.T) {
+	tc := Default90nm()
+	tc.SpacingOverride = geom.FromMicrons(14)
+	if tc.Spacing() != geom.FromMicrons(14) {
+		t.Errorf("spacing = %d, want 14000", tc.Spacing())
+	}
+	if tc.Clearance() != geom.FromMicrons(7) {
+		t.Errorf("clearance = %d, want 7000", tc.Clearance())
+	}
+}
+
+func TestStripWidthDefaulting(t *testing.T) {
+	tc := Default90nm()
+	if tc.StripWidth(0) != tc.MicrostripWidth {
+		t.Error("zero width should default to technology width")
+	}
+	if tc.StripWidth(geom.FromMicrons(8)) != geom.FromMicrons(8) {
+		t.Error("explicit width should be preserved")
+	}
+}
+
+func TestValidateRejectsBadParameters(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Technology)
+	}{
+		{"zero ground distance", func(tc *Technology) { tc.GroundDistance = 0 }},
+		{"negative strip width", func(tc *Technology) { tc.MicrostripWidth = -1 }},
+		{"zero pad", func(tc *Technology) { tc.PadSize = 0 }},
+		{"negative spacing override", func(tc *Technology) { tc.SpacingOverride = -5 }},
+		{"huge bend compensation", func(tc *Technology) { tc.BendCompensation = tc.MicrostripWidth * 10 }},
+	}
+	for _, c := range cases {
+		tc := Default90nm()
+		c.mutate(&tc)
+		if err := tc.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
