@@ -15,13 +15,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"rficlayout/internal/circuits"
 	"rficlayout/internal/emsim"
+	"rficlayout/internal/engine"
 	"rficlayout/internal/layout"
 	"rficlayout/internal/manual"
 	"rficlayout/internal/netlist"
@@ -205,6 +208,63 @@ func BenchmarkAblationNoRefinement(b *testing.B) {
 			b.ReportMetric(float64(res.Layout.Metrics().TotalBends), "final_bends")
 			b.ReportMetric(float64(len(res.Layout.Check(layout.CheckOptions{PinTolerance: 2}))), "final_violations")
 		}
+	}
+}
+
+// BenchmarkProgressiveFlowWorkers measures the wall-clock effect of the
+// solver worker pool on one progressive flow: workers=1 is the sequential
+// baseline, workers=GOMAXPROCS the parallel flow. Note the bench options
+// use short per-strip time limits that can bind, so the two layouts may
+// differ slightly in quality; compare the reported layout metrics alongside
+// the times (with non-binding limits the layouts would be identical by the
+// determinism contract).
+func BenchmarkProgressiveFlowWorkers(b *testing.B) {
+	circuit := table1Circuit(b, "lna94", false)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := benchPILPOptions()
+				opts.Workers = workers
+				res, err := pilp.Generate(circuit, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					reportLayoutMetrics(b, "pilp", res.Layout)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineBatch measures the batch engine on all six Table 1 cells:
+// jobs=1 runs them back to back, jobs=GOMAXPROCS overlaps whole circuits.
+func BenchmarkEngineBatch(b *testing.B) {
+	var jobs []engine.Job
+	for _, spec := range circuits.Table1() {
+		for _, small := range []bool{false, true} {
+			c := circuits.Build(spec)
+			if small {
+				c = circuits.BuildSmallArea(spec)
+			}
+			jobs = append(jobs, engine.Job{
+				Name:    fmt.Sprintf("%s/small=%v", spec.Name, small),
+				Circuit: c,
+				Options: benchPILPOptions(),
+			})
+		}
+	}
+	for _, parallel := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("jobs=%d", parallel), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results := engine.Run(context.Background(), jobs, engine.Options{Parallel: parallel})
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatalf("%s: %v", r.Name, r.Err)
+					}
+				}
+			}
+		})
 	}
 }
 

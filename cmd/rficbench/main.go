@@ -1,24 +1,32 @@
 // Command rficbench regenerates the paper's evaluation artifacts: the Table 1
 // comparison of manual vs. P-ILP layouts, the Figure 7 phase snapshots (as
-// SVG files) and the Figure 11 S-parameter sweeps.
+// SVG files) and the Figure 11 S-parameter sweeps. The Table 1 circuits are
+// independent, so -parallel dispatches them to the batch engine and solves
+// them concurrently; with -strip-time generous enough that no per-strip
+// solve hits its limit, the layouts are identical to a sequential run
+// (binding time limits stop solves at wall-clock-dependent points). Ctrl-C
+// cancels cleanly at the next solver boundary.
 //
 // Usage:
 //
-//	rficbench -table1
+//	rficbench -table1 -parallel 4
 //	rficbench -figure7 -outdir out/
 //	rficbench -figure11a
 //	rficbench -figure11b
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
 	"rficlayout/internal/circuits"
 	"rficlayout/internal/emsim"
+	"rficlayout/internal/engine"
 	"rficlayout/internal/layout"
 	"rficlayout/internal/manual"
 	"rficlayout/internal/netlist"
@@ -33,21 +41,25 @@ func main() {
 	figure11b := flag.Bool("figure11b", false, "regenerate Figure 11(b): 60 GHz buffer S-parameters")
 	outDir := flag.String("outdir", ".", "directory for SVG output")
 	stripTime := flag.Duration("strip-time", 2*time.Second, "time limit per per-strip ILP solve")
+	parallel := flag.Int("parallel", 0, "concurrent circuit solves for -table1 (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	opts := pilp.Options{StripTimeLimit: *stripTime, MaxRefineIterations: 2}
 
 	if *table1 {
-		runTable1(opts)
+		runTable1(ctx, opts, *parallel)
 	}
 	if *figure7 {
-		runFigure7(opts, *outDir)
+		runFigure7(ctx, opts, *outDir)
 	}
 	if *figure11a {
-		runFigure11("lna94", opts)
+		runFigure11(ctx, "lna94", opts)
 	}
 	if *figure11b {
-		runFigure11("buffer60", opts)
+		runFigure11(ctx, "buffer60", opts)
 	}
 	if !*table1 && !*figure7 && !*figure11a && !*figure11b {
 		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -figure7, -figure11a or -figure11b")
@@ -62,50 +74,65 @@ func buildCircuit(spec circuits.Spec, small bool) *netlist.Circuit {
 	return circuits.Build(spec)
 }
 
-func runTable1(opts pilp.Options) {
-	var rows []report.Table1Row
+func runTable1(ctx context.Context, opts pilp.Options, parallel int) {
+	type cell struct {
+		spec  circuits.Spec
+		small bool
+	}
+	var cells []cell
+	var jobs []engine.Job
 	for _, spec := range circuits.Table1() {
 		for _, small := range []bool{false, true} {
-			c := buildCircuit(spec, small)
-			row := report.Table1Row{
-				Circuit:     spec.Name,
-				Microstrips: len(c.Microstrips),
-				Devices:     len(c.Devices),
-				AreaWidth:   c.AreaWidth,
-				AreaHeight:  c.AreaHeight,
-			}
-			if !small {
-				start := time.Now()
-				ml, err := manual.Generate(c, manual.Options{})
-				if err == nil {
-					m := ml.Metrics()
-					row.ManualAvailable = true
-					row.ManualMaxBends = m.MaxBends
-					row.ManualTotalBends = m.TotalBends
-					row.ManualRuntime = time.Since(start)
-				}
-			}
-			start := time.Now()
-			res, err := pilp.Generate(c, opts)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "rficbench: %s: %v\n", spec.Name, err)
-				continue
-			}
-			m := res.Layout.Metrics()
-			row.PILPMaxBends = m.MaxBends
-			row.PILPTotalBends = m.TotalBends
-			row.PILPRuntime = time.Since(start)
-			row.PILPUnmatched = report.UnmatchedStrips(res.Layout, 10)
-			rows = append(rows, row)
+			cells = append(cells, cell{spec, small})
+			jobs = append(jobs, engine.Job{
+				Name:    fmt.Sprintf("%s/small=%v", spec.Name, small),
+				Circuit: buildCircuit(spec, small),
+				Options: opts,
+			})
 		}
+	}
+	results := engine.Run(ctx, jobs, engine.Options{Parallel: parallel})
+
+	var rows []report.Table1Row
+	for i, cl := range cells {
+		c := jobs[i].Circuit
+		row := report.Table1Row{
+			Circuit:     cl.spec.Name,
+			Microstrips: len(c.Microstrips),
+			Devices:     len(c.Devices),
+			AreaWidth:   c.AreaWidth,
+			AreaHeight:  c.AreaHeight,
+		}
+		if !cl.small {
+			start := time.Now()
+			ml, err := manual.Generate(c, manual.Options{})
+			if err == nil {
+				m := ml.Metrics()
+				row.ManualAvailable = true
+				row.ManualMaxBends = m.MaxBends
+				row.ManualTotalBends = m.TotalBends
+				row.ManualRuntime = time.Since(start)
+			}
+		}
+		r := results[i]
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "rficbench: %s: %v\n", r.Name, r.Err)
+			continue
+		}
+		m := r.Result.Layout.Metrics()
+		row.PILPMaxBends = m.MaxBends
+		row.PILPTotalBends = m.TotalBends
+		row.PILPRuntime = r.Result.Runtime
+		row.PILPUnmatched = report.UnmatchedStrips(r.Result.Layout, 10)
+		rows = append(rows, row)
 	}
 	fmt.Print(report.FormatTable1(rows))
 }
 
-func runFigure7(opts pilp.Options, outDir string) {
+func runFigure7(ctx context.Context, opts pilp.Options, outDir string) {
 	spec, _ := circuits.BySpecName("lna94")
 	c := circuits.Build(spec)
-	res, err := pilp.Generate(c, opts)
+	res, err := pilp.GenerateCtx(ctx, c, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rficbench:", err)
 		os.Exit(1)
@@ -120,7 +147,7 @@ func runFigure7(opts pilp.Options, outDir string) {
 	}
 }
 
-func runFigure11(name string, opts pilp.Options) {
+func runFigure11(ctx context.Context, name string, opts pilp.Options) {
 	spec, err := circuits.BySpecName(name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rficbench:", err)
@@ -132,7 +159,7 @@ func runFigure11(name string, opts pilp.Options) {
 		fmt.Fprintln(os.Stderr, "rficbench:", err)
 		os.Exit(1)
 	}
-	res, err := pilp.Generate(c, opts)
+	res, err := pilp.GenerateCtx(ctx, c, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rficbench:", err)
 		os.Exit(1)

@@ -1,82 +1,123 @@
-// Command rficgen runs the progressive ILP-based layout flow on a circuit
-// file and writes the resulting layout, an SVG rendering and a quality
-// report.
+// Command rficgen runs the progressive ILP-based layout flow on one or more
+// circuit files and writes the resulting layout, an SVG rendering and a
+// quality report. With several -circuit files (or -parallel > 1) the circuits
+// are solved concurrently through the batch engine. Ctrl-C cancels the solve
+// cleanly at the next solver boundary.
 //
 // Usage:
 //
 //	rficgen -circuit lna.rfic -out lna.rlay -svg lna.svg
 //	rficgen -benchmark lna94 -svg lna94.svg
+//	rficgen -parallel 4 -circuit a.rfic -circuit b.rfic -circuit c.rfic
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"rficlayout/internal/circuits"
+	"rficlayout/internal/engine"
 	"rficlayout/internal/layout"
 	"rficlayout/internal/netlist"
 	"rficlayout/internal/pilp"
 	"rficlayout/internal/report"
 )
 
+// stringList collects repeated -circuit flags.
+type stringList []string
+
+func (s *stringList) String() string     { return fmt.Sprint(*s) }
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
+
 func main() {
-	circuitPath := flag.String("circuit", "", "circuit file to lay out")
+	var circuitPaths stringList
+	flag.Var(&circuitPaths, "circuit", "circuit file to lay out (repeatable)")
 	benchmark := flag.String("benchmark", "", "built-in benchmark circuit (lna94, buffer60, lna60) instead of -circuit")
 	smallArea := flag.Bool("small-area", false, "use the smaller stress-test area of the benchmark circuit")
-	outPath := flag.String("out", "", "write the layout file here")
-	svgPath := flag.String("svg", "", "write an SVG rendering here")
+	outPath := flag.String("out", "", "write the layout file here (single circuit only)")
+	svgPath := flag.String("svg", "", "write an SVG rendering here (single circuit only)")
 	stripTime := flag.Duration("strip-time", 3*time.Second, "time limit per per-strip ILP solve")
+	parallel := flag.Int("parallel", 0, "worker count: jobs in flight and per-flow strip solvers (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "log solver progress")
 	flag.Parse()
 
-	var circuit *netlist.Circuit
-	switch {
-	case *benchmark != "":
-		spec, err := circuits.BySpecName(*benchmark)
-		if err != nil {
-			fatal(err)
-		}
-		if *smallArea {
-			circuit = circuits.BuildSmallArea(spec)
-		} else {
-			circuit = circuits.Build(spec)
-		}
-	case *circuitPath != "":
-		c, err := netlist.ParseFile(*circuitPath)
-		if err != nil {
-			fatal(err)
-		}
-		circuit = c
-	default:
-		fatal(fmt.Errorf("either -circuit or -benchmark is required"))
-	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
+	// Workers stays unset while building jobs: with several circuits the
+	// engine parallelizes across jobs (and pins each flow to one worker);
+	// only a single-circuit run hands -parallel to the flow's own pool.
 	opts := pilp.Options{StripTimeLimit: *stripTime}
 	if *verbose {
 		opts.Logf = func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	start := time.Now()
-	res, err := pilp.Generate(circuit, opts)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Println(report.LayoutSummary(circuit.Name, res.Layout, time.Since(start)))
-	for _, v := range res.Violations() {
-		fmt.Printf("  violation: %v\n", v)
-	}
-	if *outPath != "" {
-		if err := layout.WriteFile(*outPath, res.Layout); err != nil {
+
+	var jobs []engine.Job
+	switch {
+	case *benchmark != "":
+		spec, err := circuits.BySpecName(*benchmark)
+		if err != nil {
 			fatal(err)
 		}
-	}
-	if *svgPath != "" {
-		if err := layout.SaveSVG(*svgPath, res.Layout, layout.SVGOptions{ShowLabels: true, Title: circuit.Name}); err != nil {
-			fatal(err)
+		circuit := circuits.Build(spec)
+		if *smallArea {
+			circuit = circuits.BuildSmallArea(spec)
 		}
+		jobs = append(jobs, engine.Job{Circuit: circuit, Options: opts})
+	case len(circuitPaths) > 0:
+		for _, path := range circuitPaths {
+			c, err := netlist.ParseFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			jobs = append(jobs, engine.Job{Name: path, Circuit: c, Options: opts})
+		}
+	default:
+		fatal(fmt.Errorf("either -circuit or -benchmark is required"))
+	}
+	if len(jobs) > 1 && (*outPath != "" || *svgPath != "") {
+		fatal(fmt.Errorf("-out and -svg apply to a single circuit; got %d", len(jobs)))
+	}
+	if len(jobs) == 1 {
+		jobs[0].Options.Workers = *parallel
+	}
+
+	engineOpts := engine.Options{Parallel: *parallel}
+	if *verbose {
+		engineOpts.Logf = opts.Logf
+	}
+	results := engine.Run(ctx, jobs, engineOpts)
+
+	failed := 0
+	for i, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "rficgen: %s: %v\n", r.Name, r.Err)
+			failed++
+			continue
+		}
+		fmt.Println(report.LayoutSummary(jobs[i].Circuit.Name, r.Result.Layout, r.Result.Runtime))
+		for _, v := range r.Result.Violations() {
+			fmt.Printf("  violation: %v\n", v)
+		}
+		if *outPath != "" {
+			if err := layout.WriteFile(*outPath, r.Result.Layout); err != nil {
+				fatal(err)
+			}
+		}
+		if *svgPath != "" {
+			if err := layout.SaveSVG(*svgPath, r.Result.Layout, layout.SVGOptions{ShowLabels: true, Title: jobs[i].Circuit.Name}); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -2,6 +2,41 @@
 // a package; the actual experiment harness lives in bench_test.go (run with
 // "go test -bench=.") and in cmd/rficbench. Running this binary just points
 // at those entry points.
+//
+// # Architecture
+//
+// The solver stack is layered, every layer context-aware and deterministic:
+//
+//	cmd/rficgen, cmd/rficbench   CLI front-ends (-parallel, Ctrl-C cancels)
+//	internal/engine              batch API: many circuits on a worker pool,
+//	                             per-job isolation (engine.Run)
+//	internal/pilp                progressive ILP flow of the paper (Section 5):
+//	                             construct → global adjust → per-strip exact
+//	                             lengths → refinement; independent per-strip
+//	                             and per-rotation subproblems run concurrently
+//	internal/ilpmodel            builds the layout MILP (device placement,
+//	                             chain-point routing, non-overlap, Eq. 1–28)
+//	internal/milp                branch-and-bound with batched parallel LP
+//	                             evaluation, warm starts, dive heuristic
+//	internal/lp                  bounded-variable primal simplex
+//
+// Cancellation flows top-down: every solve entry point has a Ctx variant
+// (engine.Run, pilp.GenerateCtx, ilpmodel.SolveAndExtractCtx, milp.SolveCtx,
+// lp.SolveCtx), and the duration knobs (pilp StripTimeLimit/PhaseTimeLimit,
+// milp TimeLimit) are sugar that derives a context deadline, so an enclosing
+// context can always cancel earlier.
+//
+// # Determinism contract
+//
+// Parallelism never changes results, only wall-clock time. The milp search
+// dequeues nodes in fixed-size batches and makes all decisions sequentially;
+// workers only evaluate the LP relaxations of a batch. The pilp flow solves
+// per-strip subproblems against a frozen snapshot of the layout and merges
+// them in a fixed order. Consequently the same circuit yields byte-identical
+// layouts for every worker count — the property the engine relies on to
+// scale batches across cores. The one caveat: a binding time limit (or
+// cancellation) interrupts the search at a timing-dependent point, so only
+// runs whose limits do not bind are comparable.
 package main
 
 import "fmt"

@@ -1,0 +1,3 @@
+module rficlayout
+
+go 1.21

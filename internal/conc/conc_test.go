@@ -1,0 +1,68 @@
+package conc
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryJob(t *testing.T) {
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0) + 2} {
+		n := 50
+		hits := make([]int32, n)
+		ForEach(context.Background(), workers, n, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Errorf("workers=%d: job %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak int32
+	ForEach(context.Background(), workers, 64, func(int) {
+		cur := atomic.AddInt32(&inFlight, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if cur <= p || atomic.CompareAndSwapInt32(&peak, p, cur) {
+				break
+			}
+		}
+		atomic.AddInt32(&inFlight, -1)
+	})
+	if peak > workers {
+		t.Errorf("observed %d concurrent jobs, pool bound is %d", peak, workers)
+	}
+}
+
+func TestForEachPropagatesFirstPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Errorf("workers=%d: panic was not propagated", workers)
+				}
+			}()
+			ForEach(context.Background(), workers, 8, func(i int) {
+				if i == 3 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestForEachSkipsAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := int32(0)
+	ForEach(ctx, 4, 16, func(int) { atomic.AddInt32(&ran, 1) })
+	if ran != 0 {
+		t.Errorf("%d jobs ran under a pre-cancelled context", ran)
+	}
+}

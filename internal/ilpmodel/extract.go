@@ -1,6 +1,7 @@
 package ilpmodel
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -150,7 +151,13 @@ func (m *Model) segmentDirection(sv *stripVars, x []float64, j int) geom.Directi
 // SolveAndExtract solves the model and extracts the incumbent layout when one
 // exists.
 func (m *Model) SolveAndExtract(opts milp.SolveOptions) (*layout.Layout, *milp.Result, error) {
-	res, err := m.Solve(opts)
+	return m.SolveAndExtractCtx(context.Background(), opts)
+}
+
+// SolveAndExtractCtx is SolveAndExtract under a context: cancellation stops
+// the branch and bound and extracts whatever incumbent exists at that point.
+func (m *Model) SolveAndExtractCtx(ctx context.Context, opts milp.SolveOptions) (*layout.Layout, *milp.Result, error) {
+	res, err := m.SolveCtx(ctx, opts)
 	if err != nil {
 		return nil, nil, err
 	}

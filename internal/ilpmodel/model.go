@@ -1,6 +1,7 @@
 package ilpmodel
 
 import (
+	"context"
 	"fmt"
 
 	"rficlayout/internal/geom"
@@ -238,6 +239,12 @@ func (m *Model) buildObjective() {
 // Solve runs branch and bound on the model.
 func (m *Model) Solve(opts milp.SolveOptions) (*milp.Result, error) {
 	return m.MILP.Solve(opts)
+}
+
+// SolveCtx runs branch and bound on the model under a context; cancellation
+// stops the search and returns the incumbent found so far, if any.
+func (m *Model) SolveCtx(ctx context.Context, opts milp.SolveOptions) (*milp.Result, error) {
+	return m.MILP.SolveCtx(ctx, opts)
 }
 
 func minf(a, b float64) float64 {

@@ -1,0 +1,54 @@
+package lp
+
+import (
+	"context"
+	"testing"
+)
+
+// smallLP builds a 2-variable LP with a nontrivial optimum so that solving it
+// requires at least one pivot.
+func smallLP() *Problem {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, Infinity, -3)
+	y := p.AddVariable("y", 0, Infinity, -2)
+	p.AddConstraint("c1", []Entry{{x, 1}, {y, 1}}, LE, 4)
+	p.AddConstraint("c2", []Entry{{x, 1}, {y, 3}}, LE, 6)
+	return p
+}
+
+func TestSolveCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, err := SolveCtx(ctx, smallLP(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusCancelled {
+		t.Errorf("status = %v, want %v", sol.Status, StatusCancelled)
+	}
+}
+
+func TestSolveCtxBackgroundMatchesSolve(t *testing.T) {
+	want, err := Solve(smallLP(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SolveCtx(context.Background(), smallLP(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != want.Status || got.Objective != want.Objective || got.Iterations != want.Iterations {
+		t.Errorf("SolveCtx = %+v, Solve = %+v", got, want)
+	}
+	for j := range want.X {
+		if got.X[j] != want.X[j] {
+			t.Errorf("X[%d] = %g, want %g", j, got.X[j], want.X[j])
+		}
+	}
+}
+
+func TestStatusCancelledString(t *testing.T) {
+	if StatusCancelled.String() != "cancelled" {
+		t.Errorf("StatusCancelled.String() = %q", StatusCancelled.String())
+	}
+}

@@ -156,6 +156,9 @@ const (
 	StatusInfeasible
 	StatusUnbounded
 	StatusIterLimit
+	// StatusCancelled means the context passed to SolveCtx was cancelled or
+	// its deadline expired before the solve finished.
+	StatusCancelled
 )
 
 // String implements fmt.Stringer.
@@ -169,6 +172,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case StatusIterLimit:
 		return "iteration-limit"
+	case StatusCancelled:
+		return "cancelled"
 	default:
 		return "unknown"
 	}

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -48,12 +49,34 @@ type simplex struct {
 
 	degenerate int  // consecutive degenerate pivots
 	useBland   bool // anti-cycling mode
+
+	// ctx, when non-nil, is polled every few pivots; cancellation aborts the
+	// solve with StatusCancelled.
+	ctx context.Context
+}
+
+// cancelCheckEvery is how many pivots pass between context polls; polling a
+// context costs an atomic load plus a channel select, so it is kept off the
+// per-pivot path.
+const cancelCheckEvery = 32
+
+// cancelled reports whether the solve's context has fired.
+func (s *simplex) cancelled() bool {
+	return s.ctx != nil && s.iterations%cancelCheckEvery == 0 && s.ctx.Err() != nil
 }
 
 // Solve minimizes the problem and returns the solution. The problem itself is
 // not modified; bound overrides from opts are applied to a private copy of
 // the bound arrays.
 func Solve(p *Problem, opts Options) (*Solution, error) {
+	return SolveCtx(context.Background(), p, opts)
+}
+
+// SolveCtx is Solve with cancellation: the context is checked periodically
+// during pivoting and a cancelled or expired context yields a solution with
+// StatusCancelled. Solving the same problem with the same options under a
+// context that never fires is identical to Solve.
+func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -61,13 +84,16 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
+	if ctx != nil && ctx.Done() != nil {
+		s.ctx = ctx
+	}
 	status := s.run()
 	sol := &Solution{
 		Status:     status,
 		X:          s.extract(),
 		Iterations: s.iterations,
 	}
-	if status == StatusOptimal || status == StatusIterLimit {
+	if status == StatusOptimal || status == StatusIterLimit || status == StatusCancelled {
 		obj := 0.0
 		for j := 0; j < s.nStruct; j++ {
 			obj += p.Variables[j].Cost * sol.X[j]

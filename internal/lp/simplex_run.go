@@ -17,7 +17,7 @@ func (s *simplex) run() Status {
 		s.inPhase1 = true
 		s.computeReducedCosts()
 		st := s.iterate()
-		if st == StatusIterLimit {
+		if st == StatusIterLimit || st == StatusCancelled {
 			return st
 		}
 		if s.phase1Objective() > 1e-6 {
@@ -96,6 +96,9 @@ func (s *simplex) iterate() Status {
 	for {
 		if s.iterations >= s.maxIter {
 			return StatusIterLimit
+		}
+		if s.cancelled() {
+			return StatusCancelled
 		}
 		if sinceRefresh >= s.refresh {
 			s.computeReducedCosts()

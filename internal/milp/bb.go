@@ -2,9 +2,11 @@ package milp
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"time"
 
+	"rficlayout/internal/conc"
 	"rficlayout/internal/lp"
 )
 
@@ -48,8 +50,15 @@ func (s Status) HasSolution() bool { return s == StatusOptimal || s == StatusFea
 
 // SolveOptions tunes the branch-and-bound search.
 type SolveOptions struct {
-	// TimeLimit bounds wall-clock time; zero means no limit.
+	// TimeLimit bounds wall-clock time; zero means no limit. It is sugar for
+	// a context deadline: SolveCtx derives a child context with this timeout,
+	// so an enclosing context can still cancel the solve earlier.
 	TimeLimit time.Duration
+	// Workers is the number of goroutines evaluating LP relaxations
+	// concurrently. Zero or one means sequential evaluation. The search is
+	// deterministic: any worker count produces the identical Result (see the
+	// determinism notes on Solve).
+	Workers int
 	// MaxNodes bounds the number of explored nodes; zero means a large
 	// default (1 << 20).
 	MaxNodes int
@@ -87,6 +96,13 @@ func (o SolveOptions) maxNodes() int {
 	return 1 << 20
 }
 
+func (o SolveOptions) workers() int {
+	if o.Workers > 1 {
+		return o.Workers
+	}
+	return 1
+}
+
 // Result is the outcome of Model.Solve.
 type Result struct {
 	Status    Status
@@ -120,6 +136,38 @@ func (r *Result) BoolValue(v Var) bool {
 	return r.X != nil && r.X[v] > 0.5
 }
 
+// betterIncumbent reports whether (obj, x) should replace the current
+// incumbent. A strictly better objective always wins; an objective tie within
+// tolerance is broken lexicographically on the solution vector, so the
+// adopted incumbent does not depend on the order in which equal-quality
+// solutions are discovered.
+func (r *Result) betterIncumbent(obj float64, x []float64) bool {
+	if r.X == nil {
+		return true
+	}
+	if obj < r.Objective-1e-9 {
+		return true
+	}
+	if obj > r.Objective+1e-9 {
+		return false
+	}
+	return lexLess(x, r.X)
+}
+
+// lexLess is a strict lexicographic order on solution vectors.
+func lexLess(a, b []float64) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
 // node is one branch-and-bound subproblem: the bound overrides accumulated
 // along the path from the root.
 type node struct {
@@ -145,18 +193,45 @@ func (q *nodeQueue) Pop() interface{} {
 	return it
 }
 
+// bbBatchSize is how many open nodes are dequeued per search round. The batch
+// size is a fixed constant — deliberately NOT derived from the worker count —
+// because the exploration order (and therefore the exact result) must be a
+// function of the model alone: workers only split the LP evaluations of one
+// batch among themselves.
+const bbBatchSize = 16
+
 // Solve runs branch and bound on the model and returns the best solution
-// found. The model is not modified.
+// found. The model is not modified. It is shorthand for SolveCtx with a
+// background context.
 func (m *Model) Solve(opts SolveOptions) (*Result, error) {
+	return m.SolveCtx(context.Background(), opts)
+}
+
+// SolveCtx runs branch and bound under a context. Cancellation (or the
+// deadline derived from opts.TimeLimit) stops the search at the next node
+// boundary and returns the incumbent found so far (StatusFeasible) or
+// StatusNoSolution when none exists yet. A context that is already cancelled
+// on entry returns promptly without solving any LP.
+//
+// Determinism: the search dequeues nodes in fixed-size batches from the
+// best-bound heap and makes every branching, pruning and incumbent decision
+// sequentially in batch order; opts.Workers only parallelizes the LP
+// relaxation solves of a batch, which are pure functions of their node. As
+// long as no limit (time, cancellation) interrupts the search, the returned
+// Result — status, objective, bound, node count and solution vector — is
+// byte-identical for every worker count. Equal-objective incumbents are
+// ordered lexicographically by solution vector as an extra guard.
+func (m *Model) SolveCtx(ctx context.Context, opts SolveOptions) (*Result, error) {
 	start := time.Now()
 	logf := opts.Logf
 	if logf == nil {
 		logf = func(string, ...interface{}) {}
 	}
 	intTol := opts.intTol()
-	deadline := time.Time{}
 	if opts.TimeLimit > 0 {
-		deadline = start.Add(opts.TimeLimit)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.TimeLimit)
+		defer cancel()
 	}
 
 	prob := m.toLP()
@@ -187,140 +262,205 @@ func (m *Model) Solve(opts SolveOptions) (*Result, error) {
 	heap.Init(open)
 	heap.Push(open, &node{lower: map[int]float64{}, upper: map[int]float64{}, bound: math.Inf(-1)})
 
+	workers := opts.workers()
 	timedOut := false
 	rootSolved := false
-	for open.Len() > 0 {
-		if res.Nodes >= opts.maxNodes() {
-			timedOut = true
-			break
-		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			timedOut = true
-			break
-		}
-		nd := heap.Pop(open).(*node)
-		// Best-bound ordering means the popped node carries the smallest
-		// bound among open nodes: it is the current global lower bound.
-		if rootSolved && nd.bound > res.Bound {
-			res.Bound = nd.bound
-		}
-		// Prune against the incumbent before paying for the LP.
-		if res.X != nil && nd.bound >= res.Objective-1e-9 {
-			continue
-		}
-		res.Nodes++
+	batch := make([]*node, 0, bbBatchSize)
+	sols := make([]*lp.Solution, bbBatchSize)
+	errs := make([]error, bbBatchSize)
 
-		lpOpts := opts.LPOptions
-		lpOpts.LowerOverride = nd.lower
-		lpOpts.UpperOverride = nd.upper
-		sol, err := lp.Solve(prob, lpOpts)
-		if err != nil {
-			return nil, err
+search:
+	for open.Len() > 0 {
+		if res.Nodes >= opts.maxNodes() || ctx.Err() != nil {
+			timedOut = true
+			break
 		}
-		switch sol.Status {
-		case lp.StatusInfeasible:
-			if res.Nodes == 1 && res.X == nil {
-				res.Status = StatusInfeasible
-				res.Runtime = time.Since(start)
-				return res, nil
+
+		// Dequeue one round of nodes, pruning against the incumbent before
+		// paying for any LP.
+		batch = batch[:0]
+		for len(batch) < bbBatchSize && open.Len() > 0 {
+			nd := heap.Pop(open).(*node)
+			if res.X != nil && nd.bound >= res.Objective-1e-9 {
+				continue
 			}
-			continue
-		case lp.StatusUnbounded:
-			if res.Nodes == 1 && res.X == nil {
-				res.Status = StatusUnbounded
-				res.Runtime = time.Since(start)
-				return res, nil
-			}
-			continue
-		case lp.StatusIterLimit:
-			// Treat as an unusable node bound: keep the parent bound and
-			// do not branch further on this path.
-			logf("milp: node %d hit LP iteration limit", res.Nodes)
+			batch = append(batch, nd)
+		}
+		if len(batch) == 0 {
 			continue
 		}
-		rootSolved = true
-		lpObj := sol.Objective + m.objConstant
-		nd.bound = lpObj
-		if res.Nodes == 1 {
-			res.Bound = lpObj
-			// LP-guided dive from the root: greedily fix fractional integer
-			// variables to find a first incumbent quickly. Big-M disjunction
-			// models (the non-overlap constraints of the layout ILP) rarely
-			// produce integral relaxations, so pure best-bound search can
-			// wander for a long time without this.
-			if res.X == nil {
-				if x, obj, ok := m.dive(prob, opts, nd, sol.X, integers, deadline); ok {
-					res.X = x
-					res.Objective = obj
-					res.Status = StatusFeasible
-					logf("milp: dive incumbent %.6g", obj)
+		// Best-bound ordering means the first batch node carries the smallest
+		// bound among open nodes: it is the current global lower bound.
+		if rootSolved && batch[0].bound > res.Bound {
+			res.Bound = batch[0].bound
+		}
+
+		// Clear the result slots: the slices are reused across rounds, and a
+		// job skipped by mid-batch cancellation must read as "not evaluated"
+		// rather than as the previous round's stale solution.
+		for i := range batch {
+			sols[i], errs[i] = nil, nil
+		}
+		solveNode := func(i int) {
+			lpOpts := opts.LPOptions
+			lpOpts.LowerOverride = batch[i].lower
+			lpOpts.UpperOverride = batch[i].upper
+			sols[i], errs[i] = lp.SolveCtx(ctx, prob, lpOpts)
+		}
+		// With more than one worker the whole batch is evaluated eagerly by a
+		// bounded pool; sequentially each LP is solved lazily right before
+		// its node is processed, so nodes pruned mid-batch never pay for one.
+		// Either way the decisions below see identical inputs.
+		eager := workers > 1 && len(batch) > 1
+		if eager {
+			conc.ForEach(ctx, workers, len(batch), solveNode)
+		}
+
+		for i, nd := range batch {
+			// Re-check the prune: the incumbent may have improved while
+			// processing earlier nodes of this batch.
+			if res.X != nil && nd.bound >= res.Objective-1e-9 {
+				continue
+			}
+			if res.Nodes >= opts.maxNodes() {
+				for _, rest := range batch[i:] {
+					heap.Push(open, rest)
+				}
+				timedOut = true
+				break search
+			}
+			res.Nodes++
+			if !eager {
+				solveNode(i)
+			}
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+			sol := sols[i]
+			if sol == nil {
+				// Eager evaluation skipped this node: the context fired while
+				// the batch was in flight. Same treatment as a cancelled LP.
+				for _, rest := range batch[i+1:] {
+					heap.Push(open, rest)
+				}
+				timedOut = true
+				break search
+			}
+			switch sol.Status {
+			case lp.StatusCancelled:
+				for _, rest := range batch[i+1:] {
+					heap.Push(open, rest)
+				}
+				timedOut = true
+				break search
+			case lp.StatusInfeasible:
+				if res.Nodes == 1 && res.X == nil {
+					res.Status = StatusInfeasible
+					res.Runtime = time.Since(start)
+					return res, nil
+				}
+				continue
+			case lp.StatusUnbounded:
+				if res.Nodes == 1 && res.X == nil {
+					res.Status = StatusUnbounded
+					res.Runtime = time.Since(start)
+					return res, nil
+				}
+				continue
+			case lp.StatusIterLimit:
+				// Treat as an unusable node bound: keep the parent bound and
+				// do not branch further on this path.
+				logf("milp: node %d hit LP iteration limit", res.Nodes)
+				continue
+			}
+			rootSolved = true
+			lpObj := sol.Objective + m.objConstant
+			nd.bound = lpObj
+			if res.Nodes == 1 {
+				res.Bound = lpObj
+				// LP-guided dive from the root: greedily fix fractional integer
+				// variables to find a first incumbent quickly. Big-M disjunction
+				// models (the non-overlap constraints of the layout ILP) rarely
+				// produce integral relaxations, so pure best-bound search can
+				// wander for a long time without this.
+				if res.X == nil {
+					if x, obj, ok := m.dive(ctx, prob, opts, nd, sol.X, integers); ok {
+						res.X = x
+						res.Objective = obj
+						res.Status = StatusFeasible
+						logf("milp: dive incumbent %.6g", obj)
+					}
 				}
 			}
-		}
 
-		if res.X != nil && lpObj >= res.Objective-1e-9 {
-			continue // dominated
-		}
-
-		// Find the most fractional integer variable.
-		branchVar := -1
-		worstFrac := intTol
-		for _, j := range integers {
-			v := sol.X[j]
-			frac := math.Abs(v - math.Round(v))
-			if frac > worstFrac {
-				worstFrac = frac
-				branchVar = j
+			if res.X != nil && lpObj >= res.Objective-1e-9 {
+				continue // dominated
 			}
-		}
 
-		if branchVar < 0 {
-			// Integer feasible: candidate incumbent.
-			if res.X == nil || lpObj < res.Objective-1e-9 {
+			// Find the most fractional integer variable.
+			branchVar := -1
+			worstFrac := intTol
+			for _, j := range integers {
+				v := sol.X[j]
+				frac := math.Abs(v - math.Round(v))
+				if frac > worstFrac {
+					worstFrac = frac
+					branchVar = j
+				}
+			}
+
+			if branchVar < 0 {
+				// Integer feasible: candidate incumbent.
 				x := make([]float64, len(sol.X))
 				copy(x, sol.X)
 				for _, j := range integers {
 					x[j] = math.Round(x[j])
 				}
-				res.X = x
-				res.Objective = m.Objective(x)
-				res.Status = StatusFeasible
-				logf("milp: incumbent %.6g after %d nodes", res.Objective, res.Nodes)
-			}
-			continue
-		}
-
-		// Rounding heuristic: cheap attempt to produce an incumbent early.
-		if res.X == nil {
-			if x, ok := m.roundingHeuristic(sol.X, integers, intTol); ok {
 				obj := m.Objective(x)
-				if obj < res.Objective {
+				if res.betterIncumbent(obj, x) {
 					res.X = x
 					res.Objective = obj
 					res.Status = StatusFeasible
-					logf("milp: rounding heuristic incumbent %.6g", obj)
+					logf("milp: incumbent %.6g after %d nodes", res.Objective, res.Nodes)
+				}
+				continue
+			}
+
+			// Rounding heuristic: cheap attempt to produce an incumbent early.
+			if res.X == nil {
+				if x, ok := m.roundingHeuristic(sol.X, integers, intTol); ok {
+					obj := m.Objective(x)
+					if res.betterIncumbent(obj, x) {
+						res.X = x
+						res.Objective = obj
+						res.Status = StatusFeasible
+						logf("milp: rounding heuristic incumbent %.6g", obj)
+					}
 				}
 			}
-		}
 
-		// Branch.
-		val := sol.X[branchVar]
-		down := &node{
-			lower: nd.lower, upper: copyWith(nd.upper, branchVar, math.Floor(val)),
-			bound: lpObj, depth: nd.depth + 1,
-		}
-		up := &node{
-			lower: copyWith(nd.lower, branchVar, math.Ceil(val)), upper: nd.upper,
-			bound: lpObj, depth: nd.depth + 1,
-		}
-		heap.Push(open, down)
-		heap.Push(open, up)
+			// Branch.
+			val := sol.X[branchVar]
+			down := &node{
+				lower: nd.lower, upper: copyWith(nd.upper, branchVar, math.Floor(val)),
+				bound: lpObj, depth: nd.depth + 1,
+			}
+			up := &node{
+				lower: copyWith(nd.lower, branchVar, math.Ceil(val)), upper: nd.upper,
+				bound: lpObj, depth: nd.depth + 1,
+			}
+			heap.Push(open, down)
+			heap.Push(open, up)
 
-		// Early stop on gap.
-		if res.X != nil {
-			gap := (res.Objective - res.Bound) / math.Max(1e-9, math.Abs(res.Objective))
-			if gap <= opts.mipGap() {
-				break
+			// Early stop on gap.
+			if res.X != nil {
+				gap := (res.Objective - res.Bound) / math.Max(1e-9, math.Abs(res.Objective))
+				if gap <= opts.mipGap() {
+					for _, rest := range batch[i+1:] {
+						heap.Push(open, rest)
+					}
+					break search
+				}
 			}
 		}
 	}
@@ -330,7 +470,7 @@ func (m *Model) Solve(opts SolveOptions) (*Result, error) {
 		if !timedOut && open.Len() == 0 {
 			res.Status = StatusOptimal
 			res.Bound = res.Objective
-		} else if !timedOut && res.X != nil {
+		} else if !timedOut {
 			// Stopped on gap.
 			gap := (res.Objective - res.Bound) / math.Max(1e-9, math.Abs(res.Objective))
 			if gap <= opts.mipGap() {
@@ -356,13 +496,13 @@ func (m *Model) Solve(opts SolveOptions) (*Result, error) {
 // fixes the most fractional integer variable to its rounded value (flipping
 // to the opposite value when that makes the LP infeasible) until the
 // relaxation is integral or the dive fails. It returns the incumbent found.
-func (m *Model) dive(prob *lp.Problem, opts SolveOptions, nd *node, rootX []float64, integers []int, deadline time.Time) ([]float64, float64, bool) {
+func (m *Model) dive(ctx context.Context, prob *lp.Problem, opts SolveOptions, nd *node, rootX []float64, integers []int) ([]float64, float64, bool) {
 	intTol := opts.intTol()
 	lower := copyMap(nd.lower)
 	upper := copyMap(nd.upper)
 	x := rootX
 	for iter := 0; iter <= len(integers)+4; iter++ {
-		if !deadline.IsZero() && time.Now().After(deadline) {
+		if ctx.Err() != nil {
 			return nil, 0, false
 		}
 		branchVar := -1
@@ -405,7 +545,7 @@ func (m *Model) dive(prob *lp.Problem, opts SolveOptions, nd *node, rootX []floa
 			lpOpts := opts.LPOptions
 			lpOpts.LowerOverride = trialLower
 			lpOpts.UpperOverride = trialUpper
-			sol, err := lp.Solve(prob, lpOpts)
+			sol, err := lp.SolveCtx(ctx, prob, lpOpts)
 			if err != nil || sol.Status != lp.StatusOptimal {
 				continue
 			}
@@ -457,14 +597,9 @@ func copyWith(src map[int]float64, key int, value float64) map[int]float64 {
 	for k, v := range src {
 		out[k] = v
 	}
-	// Branches only ever tighten: keep the tighter of existing and new value
-	// to stay correct when the same variable is branched on twice.
-	if old, ok := out[key]; ok {
-		// Caller decides direction; tightening is handled by the caller
-		// passing floor/ceil of the current relaxation value, which is
-		// always at least as tight as the previous override.
-		_ = old
-	}
+	// Branches only ever tighten: the caller passes floor/ceil of the current
+	// relaxation value, which is always at least as tight as any previous
+	// override of the same variable.
 	out[key] = value
 	return out
 }

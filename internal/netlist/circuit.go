@@ -47,7 +47,7 @@ func (c *Circuit) WithArea(width, height geom.Coord) *Circuit {
 	cp := *c
 	cp.AreaWidth = width
 	cp.AreaHeight = height
-	cp.deviceIndex = nil
+	cp.rebuildIndex()
 	return &cp
 }
 
@@ -82,11 +82,19 @@ func (c *Circuit) Connect(name, fromDevice, fromPin, toDevice, toPin string, tar
 
 // Device returns the device with the given name.
 func (c *Circuit) Device(name string) (*Device, error) {
-	if c.deviceIndex == nil || len(c.deviceIndex) != len(c.Devices) {
-		c.rebuildIndex()
+	// Lookups must stay read-only: the progressive flow queries the circuit
+	// from concurrent solver workers, so a stale index falls back to a linear
+	// scan instead of rebuilding in place.
+	if idx := c.deviceIndex; idx != nil && len(idx) == len(c.Devices) {
+		if d, ok := idx[name]; ok {
+			return d, nil
+		}
+		return nil, fmt.Errorf("netlist: circuit %q has no device %q", c.Name, name)
 	}
-	if d, ok := c.deviceIndex[name]; ok {
-		return d, nil
+	for _, d := range c.Devices {
+		if d.Name == name {
+			return d, nil
+		}
 	}
 	return nil, fmt.Errorf("netlist: circuit %q has no device %q", c.Name, name)
 }

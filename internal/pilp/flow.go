@@ -1,10 +1,13 @@
 package pilp
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
+	"rficlayout/internal/conc"
 	"rficlayout/internal/geom"
 	"rficlayout/internal/ilpmodel"
 	"rficlayout/internal/layout"
@@ -25,16 +28,24 @@ type Options struct {
 	// PairRadius prunes non-overlap pairs farther apart than this. Zero
 	// means 80 µm.
 	PairRadius geom.Coord
-	// StripTimeLimit bounds each per-strip ILP solve. Zero means 5 s.
+	// StripTimeLimit bounds each per-strip ILP solve. Zero means 5 s. It is
+	// sugar for a per-solve context deadline under the flow's context.
 	StripTimeLimit time.Duration
 	// PhaseTimeLimit bounds the global adjustment solve of phase 1. Zero
-	// means 30 s.
+	// means 30 s. Like StripTimeLimit it derives a context deadline.
 	PhaseTimeLimit time.Duration
+	// Workers bounds the worker pool that solves independent per-strip (and
+	// per-rotation) subproblems concurrently. Zero means GOMAXPROCS; one
+	// disables concurrency. The flow is deterministic: every worker count
+	// produces the identical layout (see GenerateCtx).
+	Workers int
 	// MaxRefineIterations bounds phase 3. Zero means 3.
 	MaxRefineIterations int
 	// TryRotations enables device-rotation exploration in phase 3.
 	TryRotations bool
-	// Logf, when non-nil, receives progress messages.
+	// Logf, when non-nil, receives progress messages. With Workers > 1 it may
+	// be called from concurrent solver goroutines and must be safe for that
+	// (testing.T.Logf and log.Printf both are).
 	Logf func(format string, args ...interface{})
 }
 
@@ -87,10 +98,25 @@ func (o Options) refineIterations() int {
 	return 3
 }
 
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 func (o Options) logf(format string, args ...interface{}) {
 	if o.Logf != nil {
 		o.Logf(format, args...)
 	}
+}
+
+// runJobs dispatches independent subproblems to the shared bounded pool:
+// jobs skipped by cancellation leave their candidate slots nil, and a
+// panicking job surfaces on this goroutine (where engine.Run's per-job
+// recover can see it) instead of crashing the process from a worker.
+func runJobs(ctx context.Context, workers, n int, fn func(int)) {
+	conc.ForEach(ctx, workers, n, fn)
 }
 
 // Snapshot records the layout state after one phase of the flow, mirroring
@@ -129,9 +155,31 @@ func score(l *layout.Layout) float64 {
 	return 1e6*float64(len(vs)) + 100*float64(m.TotalBends) + geom.Microns(m.TotalLengthError)
 }
 
-// Generate runs the full progressive flow on the circuit.
+// Generate runs the full progressive flow on the circuit. It is shorthand
+// for GenerateCtx with a background context.
 func Generate(c *netlist.Circuit, opts Options) (*Result, error) {
+	return GenerateCtx(context.Background(), c, opts)
+}
+
+// GenerateCtx runs the full progressive flow under a context. Cancellation
+// stops the flow at the next solve boundary and returns the context error; a
+// context that is already cancelled returns promptly without solving
+// anything.
+//
+// Determinism: the phase-2 and phase-3 per-strip (and per-rotation)
+// subproblems are solved concurrently on opts.Workers goroutines, but each
+// subproblem starts from the same frozen snapshot of the layout and the
+// results are merged sequentially in a fixed (worst-first, then strip-name)
+// order, so the generated layout is byte-identical for every worker count —
+// provided no per-solve time limit binds. A binding StripTimeLimit or
+// PhaseTimeLimit stops that solve at a wall-clock-dependent point, which is
+// nondeterministic even between two identically-configured runs; use limits
+// generous enough for the circuit when reproducibility matters.
+func GenerateCtx(ctx context.Context, c *netlist.Circuit, opts Options) (*Result, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res := &Result{}
 
 	// Phase 1a: constructive placement and planar routing with blurred
@@ -144,7 +192,7 @@ func Generate(c *netlist.Circuit, opts Options) (*Result, error) {
 
 	// Phase 1b: global coordinate adjustment — soft lengths, penalized
 	// overlap, relative positions kept, topology fixed (Eq. 23–28).
-	adjusted, err := globalAdjust(c, current, opts)
+	adjusted, err := globalAdjust(ctx, c, current, opts)
 	if err != nil {
 		opts.logf("pilp: global adjustment failed: %v", err)
 	} else if adjusted != nil && score(adjusted) <= score(current) {
@@ -152,18 +200,27 @@ func Generate(c *netlist.Circuit, opts Options) (*Result, error) {
 	}
 	res.addSnapshot("phase1-blurred-routing", current, time.Since(start))
 	opts.logf("pilp: phase 1 done: %s", current.Metrics())
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Phase 2: device visualization and overlap fixing — per-strip exact
 	// length models against real device geometry.
-	current = exactLengthPass(c, current, opts)
+	current = exactLengthPass(ctx, c, current, opts)
 	res.addSnapshot("phase2-overlap-fixing", current, time.Since(start))
 	opts.logf("pilp: phase 2 done: %s", current.Metrics())
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Phase 3: iterative refinement with chain-point deletion/insertion and
 	// device rotation.
-	current = refine(c, current, opts)
+	current = refine(ctx, c, current, opts)
 	res.addSnapshot("phase3-refinement", current, time.Since(start))
 	opts.logf("pilp: phase 3 done: %s", current.Metrics())
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	res.Layout = current
 	res.Runtime = time.Since(start)
@@ -184,8 +241,9 @@ func (r *Result) addSnapshot(phase string, l *layout.Layout, elapsed time.Durati
 // strip coordinate may move within a generous confinement window, lengths
 // are soft, overlap is penalized, and relative positions plus topology come
 // from the constructed layout, so the model is a pure LP apart from the pad
-// boundary choice (pads stay fixed here).
-func globalAdjust(c *netlist.Circuit, current *layout.Layout, opts Options) (*layout.Layout, error) {
+// boundary choice (pads stay fixed here). Being the one large solve of the
+// flow, it gets the full worker pool for its branch-and-bound LP evaluations.
+func globalAdjust(ctx context.Context, c *netlist.Circuit, current *layout.Layout, opts Options) (*layout.Layout, error) {
 	freeDevices := []string{}
 	for _, d := range c.NonPadDevices() {
 		freeDevices = append(freeDevices, d.Name)
@@ -214,7 +272,10 @@ func globalAdjust(c *netlist.Circuit, current *layout.Layout, opts Options) (*la
 		return nil, err
 	}
 	opts.logf("pilp: global adjustment model: %s", m.Stats())
-	lay, result, err := m.SolveAndExtract(milp.SolveOptions{TimeLimit: opts.phaseTimeLimit()})
+	lay, result, err := m.SolveAndExtractCtx(ctx, milp.SolveOptions{
+		TimeLimit: opts.phaseTimeLimit(),
+		Workers:   opts.workers(),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -225,19 +286,78 @@ func globalAdjust(c *netlist.Circuit, current *layout.Layout, opts Options) (*la
 }
 
 // exactLengthPass drives every microstrip to its exact equivalent length with
-// per-strip exact models, worst offenders first.
-func exactLengthPass(c *netlist.Circuit, current *layout.Layout, opts Options) *layout.Layout {
+// per-strip exact models, worst offenders first. The first solve attempt of
+// every strip is an independent subproblem against the same frozen base
+// layout, so all of them are dispatched to the worker pool at once; the
+// results are then merged sequentially in the fixed worst-first order, with
+// the full sequential escalation as fallback for strips whose precomputed
+// candidate does not merge cleanly. The frozen-base pre-solve runs even with
+// one worker: a contested strip then pays one extra solve before its
+// escalation, but taking the old evolving-layout path at workers=1 would
+// make the result depend on the worker count, which the determinism
+// contract forbids.
+func exactLengthPass(ctx context.Context, c *netlist.Circuit, current *layout.Layout, opts Options) *layout.Layout {
 	delta := c.Tech.BendCompensation
 	strips := append([]*netlist.Microstrip(nil), c.Microstrips...)
-	sort.Slice(strips, func(i, j int) bool {
+	sort.SliceStable(strips, func(i, j int) bool {
 		ei := geom.AbsCoord(current.Routed(strips[i].Name).LengthError(delta))
 		ej := geom.AbsCoord(current.Routed(strips[j].Name).LengthError(delta))
-		return ei > ej
+		if ei != ej {
+			return ei > ej
+		}
+		return strips[i].Name < strips[j].Name
 	})
-	for _, ms := range strips {
-		current = solveStripToTarget(c, current, ms.Name, opts)
+
+	base := current
+	candidates := make([]*layout.Layout, len(strips))
+	runJobs(ctx, opts.workers(), len(strips), func(i int) {
+		if lay, ok := solveStrips(ctx, c, base, []string{strips[i].Name}, opts.chainPoints(), nil, opts); ok {
+			candidates[i] = lay
+		}
+	})
+
+	for i, ms := range strips {
+		if cand := candidates[i]; cand != nil {
+			// The candidate differs from the frozen base only in this strip's
+			// route: graft that route onto the evolving layout and keep it
+			// when the strip comes out clean without hurting the score.
+			if merged, ok := applyCandidate(current, cand, []string{ms.Name}, nil); ok {
+				if score(merged) <= score(current) && stripClean(merged, ms.Name) {
+					current = merged
+					continue
+				}
+			}
+		}
+		current = solveStripToTarget(ctx, c, current, ms.Name, opts)
 	}
 	return current
+}
+
+// applyCandidate grafts the routes of the listed strips and the placements of
+// the listed devices from a solved candidate onto a clone of base. Candidates
+// are solved against a frozen snapshot of the layout; this is how their
+// changes are merged into the possibly further-evolved current layout.
+func applyCandidate(base, candidate *layout.Layout, strips, devices []string) (*layout.Layout, bool) {
+	out := base.Clone()
+	for _, name := range devices {
+		pd := candidate.Placed(name)
+		if pd == nil {
+			return nil, false
+		}
+		if err := out.Place(name, pd.Center, pd.Orient); err != nil {
+			return nil, false
+		}
+	}
+	for _, name := range strips {
+		rs := candidate.Routed(name)
+		if rs == nil {
+			return nil, false
+		}
+		if err := out.Route(name, rs.Path.Points...); err != nil {
+			return nil, false
+		}
+	}
+	return out, true
 }
 
 // solveStripToTarget re-solves a single strip (growing its chain points when
@@ -245,7 +365,7 @@ func exactLengthPass(c *netlist.Circuit, current *layout.Layout, opts Options) *
 // best layout found. When the strip alone cannot be fixed — typically because
 // a strip sharing the same pin blocks its detour corridor — the strips of the
 // whole junction are re-solved together.
-func solveStripToTarget(c *netlist.Circuit, current *layout.Layout, strip string, opts Options) *layout.Layout {
+func solveStripToTarget(ctx context.Context, c *netlist.Circuit, current *layout.Layout, strip string, opts Options) *layout.Layout {
 	best := current
 	bestScore := score(current)
 	adopt := func(candidate *layout.Layout, ok bool) bool {
@@ -258,14 +378,14 @@ func solveStripToTarget(c *netlist.Circuit, current *layout.Layout, strip string
 		return stripClean(candidate, strip)
 	}
 	for n := opts.chainPoints(); n <= opts.maxChainPoints(); n++ {
-		candidate, ok := solveStrips(c, current, []string{strip}, n, nil, opts)
+		candidate, ok := solveStrips(ctx, c, current, []string{strip}, n, nil, opts)
 		if adopt(candidate, ok) {
 			return best
 		}
 	}
 	if partners := junctionPartners(c, strip); len(partners) > 1 {
 		for n := opts.chainPoints(); n <= opts.maxChainPoints(); n++ {
-			candidate, ok := solveStrips(c, best, partners, n, nil, opts)
+			candidate, ok := solveStrips(ctx, c, best, partners, n, nil, opts)
 			if adopt(candidate, ok) {
 				return best
 			}
@@ -308,8 +428,10 @@ func stripClean(l *layout.Layout, strip string) bool {
 // solveStrips builds and solves an exact model in which the listed strips
 // (and optionally the listed devices, confined to τd) are free while the rest
 // of the layout stays fixed. It returns the extracted layout and whether a
-// solution was found.
-func solveStrips(c *netlist.Circuit, current *layout.Layout, strips []string, chainPoints int, freeDevices []string, opts Options) (*layout.Layout, bool) {
+// solution was found. The per-strip models are small, so their
+// branch-and-bound runs single-worker: concurrency comes from solving many
+// strips at once, not from splitting one solve.
+func solveStrips(ctx context.Context, c *netlist.Circuit, current *layout.Layout, strips []string, chainPoints int, freeDevices []string, opts Options) (*layout.Layout, bool) {
 	warm := current.Clone()
 	cpMap := map[string]int{}
 	for _, strip := range strips {
@@ -341,7 +463,7 @@ func solveStrips(c *netlist.Circuit, current *layout.Layout, strips []string, ch
 		opts.logf("pilp: model build for %v failed: %v", strips, err)
 		return nil, false
 	}
-	lay, _, err := m.SolveAndExtract(milp.SolveOptions{TimeLimit: opts.stripTimeLimit()})
+	lay, _, err := m.SolveAndExtractCtx(ctx, milp.SolveOptions{TimeLimit: opts.stripTimeLimit()})
 	if err != nil || lay == nil {
 		return nil, false
 	}
@@ -378,11 +500,25 @@ func resamplePath(pts []geom.Point, n int) []geom.Point {
 	return out
 }
 
+// refineCandidate is one precomputed phase-3 improvement: the solved layout
+// plus the strip and device names whose geometry it changed relative to the
+// frozen base it was solved against.
+type refineCandidate struct {
+	layout  *layout.Layout
+	strips  []string
+	devices []string
+}
+
 // refine is phase 3: chain points without bends are removed, strips that
 // still violate a rule get more chain points, neighbouring devices may move
-// within τd, and device rotations are explored.
-func refine(c *netlist.Circuit, current *layout.Layout, opts Options) *layout.Layout {
+// within τd, and device rotations are explored. Each iteration dispatches the
+// escalation of every troubled strip to the worker pool against a frozen copy
+// of the layout and merges the improvements sequentially in strip-name order.
+func refine(ctx context.Context, c *netlist.Circuit, current *layout.Layout, opts Options) *layout.Layout {
 	for iter := 0; iter < opts.refineIterations(); iter++ {
+		if ctx.Err() != nil {
+			break
+		}
 		// Chain-point deletion: simplify every route in place.
 		simplified := current.Clone()
 		for _, rs := range current.RoutedStrips() {
@@ -422,33 +558,51 @@ func refine(c *netlist.Circuit, current *layout.Layout, opts Options) *layout.La
 			}
 		}
 
-		improved := false
 		names := sortedKeys(trouble)
-		for _, strip := range names {
-			before := score(current)
+		base := current
+		before := score(base)
+		candidates := make([]*refineCandidate, len(names))
+		runJobs(ctx, opts.workers(), len(names), func(i int) {
+			strip := names[i]
 			for n := opts.chainPoints(); n <= opts.maxChainPoints(); n++ {
 				// First with only the strip free, then with its non-pad
 				// terminal devices (and their other strips) free within τd —
 				// the device-movement freedom of phase 3.
-				candidate, ok := solveStrips(c, current, []string{strip}, n, nil, opts)
+				freed, devs := []string{strip}, []string(nil)
+				candidate, ok := solveStrips(ctx, c, base, freed, n, nil, opts)
 				if !ok || score(candidate) >= before {
-					strips, devs := neighbourhood(c, strip)
-					candidate, ok = solveStrips(c, current, strips, n, devs, opts)
+					freed, devs = neighbourhood(c, strip)
+					candidate, ok = solveStrips(ctx, c, base, freed, n, devs, opts)
 				}
 				if !ok {
 					continue
 				}
-				if s := score(candidate); s < before {
-					current = candidate
-					improved = true
-					break
+				if score(candidate) < before {
+					candidates[i] = &refineCandidate{layout: candidate, strips: freed, devices: devs}
+					return
 				}
+			}
+		})
+
+		improved := false
+		for i := range names {
+			rc := candidates[i]
+			if rc == nil {
+				continue
+			}
+			merged, ok := applyCandidate(current, rc.layout, rc.strips, rc.devices)
+			if !ok {
+				continue
+			}
+			if score(merged) < score(current) {
+				current = merged
+				improved = true
 			}
 		}
 
 		if opts.TryRotations && len(checkLayout(current)) > 0 {
 			var rotated bool
-			current, rotated = tryRotations(c, current, opts)
+			current, rotated = tryRotations(ctx, c, current, opts)
 			improved = improved || rotated
 		}
 		if !improved {
@@ -458,10 +612,12 @@ func refine(c *netlist.Circuit, current *layout.Layout, opts Options) *layout.La
 	return current
 }
 
-// tryRotations explores the four orientations of the devices that still
-// participate in violations, re-solving their incident strips each time, and
-// keeps the best result.
-func tryRotations(c *netlist.Circuit, current *layout.Layout, opts Options) (*layout.Layout, bool) {
+// tryRotations explores the three non-identity orientations of every device
+// that still participates in violations, re-solving its incident strips each
+// time. All device×orientation subproblems run concurrently against the same
+// frozen base layout; per device (in name order) the best-scoring rotation is
+// merged when it improves the evolving layout.
+func tryRotations(ctx context.Context, c *netlist.Circuit, current *layout.Layout, opts Options) (*layout.Layout, bool) {
 	violations := checkLayout(current)
 	devices := map[string]bool{}
 	for _, v := range violations {
@@ -474,35 +630,63 @@ func tryRotations(c *netlist.Circuit, current *layout.Layout, opts Options) (*la
 			}
 		}
 	}
-	improved := false
-	for _, name := range sortedKeys(devices) {
-		base := current.Placed(name)
-		if base == nil {
-			continue
-		}
-		bestScore := score(current)
-		bestLayout := current
+
+	incidentOf := func(name string) []string {
 		var incident []string
 		for _, ms := range c.StripsAt(name) {
 			incident = append(incident, ms.Name)
 		}
+		return incident
+	}
+
+	type rotationJob struct {
+		device string
+		orient geom.Orientation
+	}
+	var jobs []rotationJob
+	base := current
+	for _, name := range sortedKeys(devices) {
+		if base.Placed(name) == nil {
+			continue
+		}
 		for _, o := range []geom.Orientation{geom.R90, geom.R180, geom.R270} {
-			candidate := current.Clone()
-			if err := candidate.Place(name, base.Center, base.Orient.Plus(o)); err != nil {
+			jobs = append(jobs, rotationJob{device: name, orient: o})
+		}
+	}
+	results := make([]*layout.Layout, len(jobs))
+	runJobs(ctx, opts.workers(), len(jobs), func(i int) {
+		job := jobs[i]
+		pd := base.Placed(job.device)
+		candidate := base.Clone()
+		if err := candidate.Place(job.device, pd.Center, pd.Orient.Plus(job.orient)); err != nil {
+			return
+		}
+		// Re-solve all incident strips together against the rotated pins.
+		next, solved := solveStrips(ctx, c, candidate, incidentOf(job.device), opts.chainPoints(), nil, opts)
+		if solved {
+			results[i] = next
+		}
+	})
+
+	improved := false
+	for _, name := range sortedKeys(devices) {
+		bestScore := score(current)
+		var bestMerged *layout.Layout
+		for i, job := range jobs {
+			if job.device != name || results[i] == nil {
 				continue
 			}
-			// Re-solve all incident strips together against the rotated pins.
-			next, solved := solveStrips(c, candidate, incident, opts.chainPoints(), nil, opts)
-			if !solved {
+			merged, ok := applyCandidate(current, results[i], incidentOf(name), []string{name})
+			if !ok {
 				continue
 			}
-			if s := score(next); s < bestScore {
+			if s := score(merged); s < bestScore {
 				bestScore = s
-				bestLayout = next
+				bestMerged = merged
 			}
 		}
-		if bestLayout != current {
-			current = bestLayout
+		if bestMerged != nil {
+			current = bestMerged
 			improved = true
 		}
 	}
