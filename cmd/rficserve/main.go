@@ -1,0 +1,88 @@
+// Command rficserve is the HTTP serving front-end of the layout generator:
+// it accepts netlists over POST /v1/solve, runs them through a bounded
+// admission queue feeding the batch engine, and returns layouts plus solve
+// stats as JSON. A content-addressed result cache (in-memory LRU, optionally
+// backed by a directory) serves repeated circuits without re-solving — the
+// flow is deterministic, so cached layouts are byte-identical to fresh ones.
+//
+// Usage:
+//
+//	rficserve -addr :8080
+//	rficserve -addr :8080 -workers 4 -queue 128 -cache-dir /var/cache/rfic
+//
+// Quick start:
+//
+//	curl -s -X POST --data-binary @testdata/twostage.rfic localhost:8080/v1/solve
+//	curl -s -X POST --data-binary @c.rfic 'localhost:8080/v1/solve?timeout=30s'
+//	curl -s -X POST --data-binary @c.rfic 'localhost:8080/v1/solve?async=1'
+//	curl -s localhost:8080/v1/jobs/<id>
+//	curl -s localhost:8080/healthz
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"rficlayout/internal/cache"
+	"rficlayout/internal/pilp"
+	"rficlayout/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "solver worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth; a full queue rejects with 503")
+	maxSolveTime := flag.Duration("max-solve-time", 2*time.Minute, "hard per-job wall-clock ceiling")
+	stripTime := flag.Duration("strip-time", 3*time.Second, "time limit per per-strip ILP solve")
+	cacheEntries := flag.Int("cache-entries", cache.DefaultMaxEntries, "in-memory cache entry limit")
+	cacheBytes := flag.Int64("cache-bytes", cache.DefaultMaxBytes, "in-memory cache byte limit")
+	cacheDir := flag.String("cache-dir", "", "directory for the persistent cache tier (empty = memory only)")
+	verbose := flag.Bool("v", false, "log solver progress")
+	flag.Parse()
+
+	var tier cache.Cache = cache.NewLRU(*cacheEntries, *cacheBytes)
+	if *cacheDir != "" {
+		disk, err := cache.NewDir(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rficserve:", err)
+			os.Exit(1)
+		}
+		tier = cache.NewTiered(tier, disk)
+	}
+
+	cfg := server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		MaxSolveTime: *maxSolveTime,
+		SolveOptions: pilp.Options{StripTimeLimit: *stripTime},
+		Cache:        tier,
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	srv := server.New(cfg)
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("rficserve: listening on %s (workers=%d queue=%d)", *addr, cfg.Workers, *queue)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "rficserve:", err)
+		os.Exit(1)
+	}
+	log.Printf("rficserve: shut down cleanly")
+}

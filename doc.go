@@ -7,9 +7,18 @@
 //
 // The solver stack is layered, every layer context-aware and deterministic:
 //
-//	cmd/rficgen, cmd/rficbench   CLI front-ends (-parallel, Ctrl-C cancels)
+//	cmd/rficserve                HTTP serving front-end: POST /v1/solve,
+//	                             GET /v1/jobs/{id}, GET /healthz
+//	cmd/rficgen, cmd/rficbench   CLI front-ends (-parallel, -cache, Ctrl-C
+//	                             cancels)
+//	internal/server              admission queue + worker pool over the
+//	                             engine; per-request deadlines, JSON results
+//	internal/cache               content-addressed result cache (canonical
+//	                             circuit hash → layout); LRU memory tier +
+//	                             persistent directory tier
 //	internal/engine              batch API: many circuits on a worker pool,
-//	                             per-job isolation (engine.Run)
+//	                             per-job isolation and per-job stats
+//	                             (engine.Run)
 //	internal/pilp                progressive ILP flow of the paper (Section 5):
 //	                             construct → global adjust → per-strip exact
 //	                             lengths → refinement; independent per-strip
@@ -24,7 +33,8 @@
 // (engine.Run, pilp.GenerateCtx, ilpmodel.SolveAndExtractCtx, milp.SolveCtx,
 // lp.SolveCtx), and the duration knobs (pilp StripTimeLimit/PhaseTimeLimit,
 // milp TimeLimit) are sugar that derives a context deadline, so an enclosing
-// context can always cancel earlier.
+// context can always cancel earlier. The server front-end maps per-request
+// timeouts onto the same mechanism.
 //
 // # Determinism contract
 //
@@ -37,6 +47,33 @@
 // scale batches across cores. The one caveat: a binding time limit (or
 // cancellation) interrupts the search at a timing-dependent point, so only
 // runs whose limits do not bind are comparable.
+//
+// Determinism is also what makes results exactly cacheable: internal/cache
+// addresses a solve by the SHA-256 of the canonical circuit text
+// (netlist.Canonical) plus the output-relevant solve options
+// (pilp.Options.Fingerprint), so a cache hit is byte-identical to
+// re-solving. rficgen -cache DIR and rficserve both sit behind this cache.
+//
+// # Serving quick start
+//
+// Start the HTTP front-end and solve the checked-in example circuit:
+//
+//	go run ./cmd/rficserve -addr :8080 &
+//	curl -s -X POST --data-binary @testdata/twostage.rfic localhost:8080/v1/solve
+//
+// The response carries the layout text, solve stats (wall-clock, explored
+// branch-and-bound nodes, wirelength, bends, DRC violations) and whether the
+// result came from the cache. Useful variants:
+//
+//	curl -s -X POST --data-binary @c.rfic 'localhost:8080/v1/solve?timeout=30s'
+//	curl -s -X POST --data-binary @c.rfic 'localhost:8080/v1/solve?async=1'
+//	curl -s localhost:8080/v1/jobs/<id>
+//	curl -s localhost:8080/healthz
+//
+// Admission control is explicit: a full queue answers 503 immediately, a
+// per-request timeout that expires answers 504, and repeating a request
+// (even with reordered netlist declarations) answers from the cache without
+// touching the solver.
 package main
 
 import "fmt"

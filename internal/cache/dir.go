@@ -1,0 +1,140 @@
+package cache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Dir is a directory-backed cache tier: one JSON file per entry, named by
+// the content-address key. It persists across process runs, which is what
+// lets a second `rficgen -cache DIR` invocation skip circuits the first one
+// solved. Writes go through a temp file + rename so concurrent processes
+// sharing a directory never observe torn entries. Dir is safe for concurrent
+// use; all I/O errors degrade to cache misses or dropped writes.
+type Dir struct {
+	path string
+}
+
+// NewDir opens (creating if needed) a directory-backed cache tier.
+func NewDir(path string) (*Dir, error) {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: creating cache directory: %w", err)
+	}
+	return &Dir{path: path}, nil
+}
+
+// diskEntry is the JSON on-disk form of an Entry.
+type diskEntry struct {
+	Circuit   string    `json:"circuit"`
+	Layout    string    `json:"layout"`
+	RuntimeNS int64     `json:"runtime_ns"`
+	Nodes     int       `json:"nodes"`
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// keyOK rejects keys that are not hex content addresses, so a malformed key
+// can never escape the cache directory.
+func keyOK(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *Dir) file(key string) string {
+	return filepath.Join(d.path, key+".json")
+}
+
+// Get reads the entry stored under key; any read or decode failure is a
+// miss.
+func (d *Dir) Get(key string) (Entry, bool) {
+	if !keyOK(key) {
+		return Entry{}, false
+	}
+	data, err := os.ReadFile(d.file(key))
+	if err != nil {
+		return Entry{}, false
+	}
+	var de diskEntry
+	if err := json.Unmarshal(data, &de); err != nil {
+		return Entry{}, false
+	}
+	return Entry{
+		Circuit: de.Circuit,
+		Layout:  []byte(de.Layout),
+		Runtime: time.Duration(de.RuntimeNS),
+		Nodes:   de.Nodes,
+	}, true
+}
+
+// Put writes the entry under key; failures are silently dropped (the cache
+// is an optimization, never a correctness dependency).
+func (d *Dir) Put(key string, e Entry) {
+	if !keyOK(key) {
+		return
+	}
+	data, err := json.Marshal(diskEntry{
+		Circuit:   e.Circuit,
+		Layout:    string(e.Layout),
+		RuntimeNS: int64(e.Runtime),
+		Nodes:     e.Nodes,
+		CreatedAt: time.Now().UTC(),
+	})
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(d.path, "put-*.tmp")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, d.file(key)); err != nil {
+		os.Remove(name)
+	}
+}
+
+// Tiered layers a fast cache in front of a slow one: gets try fast first and
+// promote slow hits, puts write through to both.
+type Tiered struct {
+	fast Cache
+	slow Cache
+}
+
+// NewTiered combines a fast (typically in-memory) and a slow (typically
+// on-disk) tier.
+func NewTiered(fast, slow Cache) *Tiered {
+	return &Tiered{fast: fast, slow: slow}
+}
+
+// Get tries the fast tier, falls back to the slow tier and promotes hits.
+func (t *Tiered) Get(key string) (Entry, bool) {
+	if e, ok := t.fast.Get(key); ok {
+		return e, true
+	}
+	e, ok := t.slow.Get(key)
+	if ok {
+		t.fast.Put(key, e)
+	}
+	return e, ok
+}
+
+// Put writes through to both tiers.
+func (t *Tiered) Put(key string, e Entry) {
+	t.fast.Put(key, e)
+	t.slow.Put(key, e)
+}

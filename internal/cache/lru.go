@@ -1,0 +1,99 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is an in-memory least-recently-used cache with entry and byte limits.
+// It is safe for concurrent use.
+type LRU struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	ll         *list.List // front = most recently used
+	items      map[string]*list.Element
+	hits       int64
+	misses     int64
+}
+
+type lruItem struct {
+	key   string
+	entry Entry
+}
+
+// Default LRU limits: enough for a large batch of circuits without letting
+// layout text grow unbounded.
+const (
+	DefaultMaxEntries = 1024
+	DefaultMaxBytes   = 64 << 20 // 64 MiB
+)
+
+// NewLRU returns an LRU bounded to maxEntries entries and maxBytes of layout
+// text (approximate). Zero or negative limits select the defaults.
+func NewLRU(maxEntries int, maxBytes int64) *LRU {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &LRU{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      map[string]*list.Element{},
+	}
+}
+
+// Get returns the entry under key and marks it most recently used.
+func (c *LRU) Get(key string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return Entry{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).entry, true
+}
+
+// Put stores the entry under key, evicting least-recently-used entries until
+// both limits hold. An entry larger than the byte limit on its own is
+// dropped rather than cycling the whole cache.
+func (c *LRU) Put(key string, e Entry) {
+	if e.size() > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		item := el.Value.(*lruItem)
+		c.bytes += e.size() - item.entry.size()
+		item.entry = e
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruItem{key: key, entry: e})
+		c.bytes += e.size()
+	}
+	for c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		item := oldest.Value.(*lruItem)
+		c.ll.Remove(oldest)
+		delete(c.items, item.key)
+		c.bytes -= item.entry.size()
+	}
+}
+
+// Stats returns hit/miss counters and the current footprint.
+func (c *LRU) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Bytes: c.bytes}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"rficlayout/internal/netlist"
 	"rficlayout/internal/pilp"
@@ -18,6 +19,10 @@ import (
 
 // Job is one circuit to lay out.
 type Job struct {
+	// ID is an optional caller-assigned identifier, echoed in the Result.
+	// Serving front-ends use it to correlate queued requests with results;
+	// the engine itself only passes it through.
+	ID string
 	// Name identifies the job in its Result; it defaults to the circuit name.
 	Name string
 	// Circuit is the circuit to solve. A nil circuit fails the job without
@@ -43,7 +48,16 @@ func (j Job) name() string {
 // Result is the outcome of one Job, in the same position as its job in the
 // input slice.
 type Result struct {
-	Name   string
+	// ID echoes the job's caller-assigned identifier.
+	ID   string
+	Name string
+	// Runtime is the job's wall-clock time as measured by the engine: the
+	// full solve including panics and failures, so it is populated even when
+	// Err is non-nil (unlike Result.Runtime, which only exists on success).
+	Runtime time.Duration
+	// Nodes is the total branch-and-bound node count of the job's flow, zero
+	// when the job failed before solving.
+	Nodes  int
 	Result *pilp.Result
 	Err    error
 }
@@ -81,6 +95,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) []Result {
 	sem := make(chan struct{}, opts.parallel())
 	var wg sync.WaitGroup
 	for i := range jobs {
+		results[i].ID = jobs[i].ID
 		results[i].Name = jobs[i].name()
 		if err := ctx.Err(); err != nil {
 			results[i].Err = err
@@ -98,11 +113,16 @@ func Run(ctx context.Context, jobs []Job, opts Options) []Result {
 		sem <- struct{}{}
 		go func(i int, job Job) {
 			defer wg.Done()
+			start := time.Now()
 			results[i].Result, results[i].Err = runOne(ctx, job)
+			results[i].Runtime = time.Since(start)
+			if results[i].Result != nil {
+				results[i].Nodes = results[i].Result.Nodes
+			}
 			if results[i].Err != nil {
-				opts.logf("engine: job %s failed: %v", results[i].Name, results[i].Err)
+				opts.logf("engine: job %s failed after %v: %v", results[i].Name, results[i].Runtime, results[i].Err)
 			} else {
-				opts.logf("engine: job %s done in %v", results[i].Name, results[i].Result.Runtime)
+				opts.logf("engine: job %s done in %v (%d nodes)", results[i].Name, results[i].Runtime, results[i].Nodes)
 			}
 			<-sem
 		}(i, job)

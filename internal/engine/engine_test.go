@@ -126,3 +126,36 @@ func TestRunPreCancelled(t *testing.T) {
 		t.Errorf("cancelled batch took %v", elapsed)
 	}
 }
+
+// TestRunReportsStats checks the per-job stats surface: every job gets a
+// wall-clock Runtime and a positive MILP node count, failed jobs still get a
+// Runtime, and caller-assigned IDs are echoed.
+func TestRunReportsStats(t *testing.T) {
+	jobs := []Job{
+		{ID: "job-1", Circuit: testCircuit("alpha"), Options: fastOptions()},
+		{ID: "job-2", Name: "broken", Circuit: nil},
+	}
+	results := Run(context.Background(), jobs, Options{Parallel: 1})
+	ok, broken := results[0], results[1]
+	if ok.ID != "job-1" || broken.ID != "job-2" {
+		t.Errorf("IDs not echoed: got %q, %q", ok.ID, broken.ID)
+	}
+	if ok.Err != nil {
+		t.Fatalf("job failed: %v", ok.Err)
+	}
+	if ok.Runtime <= 0 {
+		t.Errorf("successful job has no wall-clock runtime: %v", ok.Runtime)
+	}
+	if ok.Nodes <= 0 {
+		t.Errorf("successful job reports %d MILP nodes, want > 0", ok.Nodes)
+	}
+	if ok.Result.Nodes != ok.Nodes {
+		t.Errorf("engine nodes %d differ from flow nodes %d", ok.Nodes, ok.Result.Nodes)
+	}
+	if broken.Err == nil {
+		t.Fatal("nil-circuit job did not fail")
+	}
+	if broken.Nodes != 0 {
+		t.Errorf("failed job reports %d nodes, want 0", broken.Nodes)
+	}
+}

@@ -1,0 +1,79 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// canonicalBase is a small circuit in "natural" declaration order.
+const canonicalBase = `
+circuit tiny
+area 400 300
+tech name=cmos90 t=5 width=10 delta=-4 pad=60
+device M1 transistor 40 30
+pin M1 in -20 0
+pin M1 out 20 0
+pad PIN
+pad POUT
+strip TL1 PIN.p M1.in length=130
+strip TL2 M1.out POUT.p length=140
+`
+
+// canonicalShuffled declares the same circuit with devices, pins and strips
+// in a different order.
+const canonicalShuffled = `
+circuit tiny
+area 400 300
+tech name=cmos90 t=5 width=10 delta=-4 pad=60
+pad POUT
+device M1 transistor 40 30
+pin M1 out 20 0
+pin M1 in -20 0
+pad PIN
+strip TL2 M1.out POUT.p length=140
+strip TL1 PIN.p M1.in length=130
+`
+
+func TestCanonicalStableUnderReordering(t *testing.T) {
+	a, err := ParseString(canonicalBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseString(canonicalShuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := Canonical(a), Canonical(b)
+	if ca != cb {
+		t.Errorf("canonical text differs under declaration reordering:\n--- base ---\n%s\n--- shuffled ---\n%s", ca, cb)
+	}
+}
+
+func TestCanonicalDistinguishesContent(t *testing.T) {
+	a, err := ParseString(canonicalBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseString(strings.Replace(canonicalBase, "length=130", "length=131", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Canonical(a) == Canonical(b) {
+		t.Error("canonical text identical for circuits with different strip lengths")
+	}
+}
+
+func TestCanonicalRoundTrips(t *testing.T) {
+	c, err := ParseString(canonicalBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Canonical(c)
+	reparsed, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("canonical text does not re-parse: %v\n%s", err, text)
+	}
+	if again := Canonical(reparsed); again != text {
+		t.Errorf("canonicalization is not idempotent:\n--- first ---\n%s\n--- second ---\n%s", text, again)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"rficlayout/internal/conc"
@@ -47,6 +48,12 @@ type Options struct {
 	// be called from concurrent solver goroutines and must be safe for that
 	// (testing.T.Logf and log.Printf both are).
 	Logf func(format string, args ...interface{})
+
+	// nodes accumulates branch-and-bound node counts across every MILP solve
+	// of one flow invocation. GenerateCtx installs it; the pointer rides
+	// along as Options is copied down the call tree, and concurrent strip
+	// solvers add to it atomically.
+	nodes *atomic.Int64
 }
 
 func (o Options) chainPoints() int {
@@ -111,6 +118,29 @@ func (o Options) logf(format string, args ...interface{}) {
 	}
 }
 
+// countNodes adds one MILP solve's node count to the flow-wide total. The
+// total is deterministic: the set of solves and each solve's node count are
+// fixed by the determinism contract (absent binding time limits), and
+// summation commutes, so concurrent workers cannot change it.
+func (o Options) countNodes(n int) {
+	if o.nodes != nil {
+		o.nodes.Add(int64(n))
+	}
+}
+
+// Fingerprint returns a canonical encoding of every option that can change
+// the generated layout, with zero values resolved to their effective
+// defaults — two Options with equal fingerprints produce byte-identical
+// layouts for the same circuit. Workers and Logf are excluded (the
+// determinism contract makes them output-invariant); the time limits are
+// included because a binding limit changes the result. The result cache
+// hashes this string alongside the canonical circuit text.
+func (o Options) Fingerprint() string {
+	return fmt.Sprintf("chain=%d maxchain=%d conf=%d pair=%d striplimit=%s phaselimit=%s refine=%d rot=%v",
+		o.chainPoints(), o.maxChainPoints(), o.confinement(), o.pairRadius(),
+		o.stripTimeLimit(), o.phaseTimeLimit(), o.refineIterations(), o.TryRotations)
+}
+
 // runJobs dispatches independent subproblems to the shared bounded pool:
 // jobs skipped by cancellation leave their candidate slots nil, and a
 // panicking job surfaces on this goroutine (where engine.Run's per-job
@@ -134,6 +164,10 @@ type Result struct {
 	Layout    *layout.Layout
 	Snapshots []Snapshot
 	Runtime   time.Duration
+	// Nodes is the total number of branch-and-bound nodes explored across
+	// every MILP solve of the flow — the solver-effort counterpart to the
+	// wall-clock Runtime.
+	Nodes int
 }
 
 // Violations returns the design-rule violations of the final layout.
@@ -180,6 +214,13 @@ func GenerateCtx(ctx context.Context, c *netlist.Circuit, opts Options) (*Result
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Normalize declaration order first: downstream stages (constructive
+	// placement, model variable order) iterate the circuit's slices, so
+	// canonical order is what makes canonical-equal circuits — and thus
+	// cache hits keyed on netlist.Canonical — produce byte-identical
+	// layouts.
+	c = netlist.Normalized(c)
+	opts.nodes = new(atomic.Int64)
 	res := &Result{}
 
 	// Phase 1a: constructive placement and planar routing with blurred
@@ -224,6 +265,7 @@ func GenerateCtx(ctx context.Context, c *netlist.Circuit, opts Options) (*Result
 
 	res.Layout = current
 	res.Runtime = time.Since(start)
+	res.Nodes = int(opts.nodes.Load())
 	return res, nil
 }
 
@@ -276,6 +318,9 @@ func globalAdjust(ctx context.Context, c *netlist.Circuit, current *layout.Layou
 		TimeLimit: opts.phaseTimeLimit(),
 		Workers:   opts.workers(),
 	})
+	if result != nil {
+		opts.countNodes(result.Nodes)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -463,7 +508,10 @@ func solveStrips(ctx context.Context, c *netlist.Circuit, current *layout.Layout
 		opts.logf("pilp: model build for %v failed: %v", strips, err)
 		return nil, false
 	}
-	lay, _, err := m.SolveAndExtractCtx(ctx, milp.SolveOptions{TimeLimit: opts.stripTimeLimit()})
+	lay, result, err := m.SolveAndExtractCtx(ctx, milp.SolveOptions{TimeLimit: opts.stripTimeLimit()})
+	if result != nil {
+		opts.countNodes(result.Nodes)
+	}
 	if err != nil || lay == nil {
 		return nil, false
 	}

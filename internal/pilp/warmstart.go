@@ -360,10 +360,15 @@ func snapToBoundary(c *netlist.Circuit, p geom.Point) geom.Point {
 // where the pins are aligned, otherwise an L or Z shape chosen to avoid
 // crossing device bodies and previously routed strips where possible.
 func routeAll(c *netlist.Circuit, l *layout.Layout) error {
-	// Route shorter connections first: they have fewer detour options.
+	// Route shorter connections first: they have fewer detour options. Equal
+	// lengths tie-break on the name so the routing order — and with it the
+	// layout — never depends on declaration order or sort stability.
 	strips := append([]*netlist.Microstrip(nil), c.Microstrips...)
 	sort.Slice(strips, func(i, j int) bool {
-		return strips[i].TargetLength < strips[j].TargetLength
+		if strips[i].TargetLength != strips[j].TargetLength {
+			return strips[i].TargetLength < strips[j].TargetLength
+		}
+		return strips[i].Name < strips[j].Name
 	})
 	for _, ms := range strips {
 		from, err := l.PinPosition(ms.From)

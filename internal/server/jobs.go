@@ -1,0 +1,129 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"rficlayout/internal/netlist"
+	"rficlayout/internal/pilp"
+)
+
+// jobStatus is the lifecycle of one solve request.
+type jobStatus string
+
+const (
+	statusQueued  jobStatus = "queued"
+	statusRunning jobStatus = "running"
+	statusDone    jobStatus = "done"
+	statusFailed  jobStatus = "failed"
+)
+
+// job is one admitted solve request as it moves through the queue and the
+// worker pool.
+type job struct {
+	id      string
+	circuit *netlist.Circuit
+	key     string
+	opts    pilp.Options
+
+	// ctx bounds the solve; cancel releases its timer and aborts a running
+	// solve (e.g. when a synchronous client disconnects).
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// done is closed exactly once, when resp holds the final outcome.
+	done chan struct{}
+
+	mu     sync.Mutex
+	status jobStatus
+	resp   *solveResponse
+}
+
+// snapshot returns the job's current response document: the final one when
+// finished, a synthesized in-flight one otherwise.
+func (j *job) snapshot() *solveResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.resp != nil {
+		cp := *j.resp
+		return &cp
+	}
+	return &solveResponse{ID: j.id, Circuit: j.circuit.Name, Status: string(j.status)}
+}
+
+// setRunning flips a queued job to running; it reports false when the job
+// already finished (cancelled while queued).
+func (j *job) setRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != statusQueued {
+		return false
+	}
+	j.status = statusRunning
+	return true
+}
+
+// finish records the final response and wakes every waiter. Subsequent calls
+// are ignored so a shutdown race cannot double-close done.
+func (j *job) finish(resp *solveResponse) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.resp != nil {
+		return
+	}
+	j.status = jobStatus(resp.Status)
+	j.resp = resp
+	close(j.done)
+}
+
+// jobStore indexes jobs by ID for GET /v1/jobs/{id} and retains a bounded
+// number of finished jobs (FIFO eviction) so completed results stay
+// queryable for a while without growing without bound.
+type jobStore struct {
+	mu        sync.Mutex
+	jobs      map[string]*job
+	finished  []string
+	retention int
+}
+
+func newJobStore(retention int) *jobStore {
+	return &jobStore{jobs: map[string]*job{}, retention: retention}
+}
+
+func (s *jobStore) add(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[j.id] = j
+}
+
+func (s *jobStore) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// markFinished records that a job completed and evicts the oldest finished
+// jobs beyond the retention bound.
+func (s *jobStore) markFinished(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finished = append(s.finished, id)
+	for len(s.finished) > s.retention {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+// counts returns how many known jobs are in each lifecycle state.
+func (s *jobStore) counts() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[string]int{}
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		out[string(j.status)]++
+		j.mu.Unlock()
+	}
+	return out
+}

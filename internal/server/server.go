@@ -1,0 +1,522 @@
+// Package server is the HTTP serving front-end over the batch engine: it
+// accepts netlists, runs them through a bounded admission queue feeding a
+// worker pool over engine.Run, honors per-request deadlines via context, and
+// returns layouts plus solve stats as JSON. A content-addressed result cache
+// (internal/cache) sits in front of the engine — the flow is deterministic,
+// so cache hits are byte-identical to re-solving.
+//
+// Endpoints:
+//
+//	POST /v1/solve        body: circuit text; query: timeout=DUR, async=1
+//	GET  /v1/jobs/{id}    status/result of an admitted job
+//	GET  /healthz         liveness plus queue/worker/cache counters
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rficlayout/internal/cache"
+	"rficlayout/internal/engine"
+	"rficlayout/internal/geom"
+	"rficlayout/internal/layout"
+	"rficlayout/internal/netlist"
+	"rficlayout/internal/pilp"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers is the solver worker pool size: how many solves run at once.
+	// Zero means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the admission queue; a full queue rejects new solves
+	// with 503 instead of queueing unboundedly. Zero means 64.
+	QueueDepth int
+	// MaxSolveTime is the hard per-job wall-clock ceiling; request timeouts
+	// may only shorten it. Zero means 2 minutes.
+	MaxSolveTime time.Duration
+	// SolveOptions is the base progressive-flow configuration applied to
+	// every request. Its Workers field is overridden by the server (flows
+	// are pinned to one worker when the pool itself is parallel).
+	SolveOptions pilp.Options
+	// Cache, when non-nil, serves repeated circuits without re-solving and
+	// stores every successful solve.
+	Cache cache.Cache
+	// JobRetention bounds how many finished jobs stay queryable under
+	// /v1/jobs. Zero means 256.
+	JobRetention int
+	// MaxBodyBytes bounds the accepted netlist size. Zero means 1 MiB.
+	MaxBodyBytes int64
+	// Logf, when non-nil, receives server and solver progress messages; it
+	// may be called from concurrent workers.
+	Logf func(format string, args ...interface{})
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 64
+}
+
+func (c Config) maxSolveTime() time.Duration {
+	if c.MaxSolveTime > 0 {
+		return c.MaxSolveTime
+	}
+	return 2 * time.Minute
+}
+
+func (c Config) jobRetention() int {
+	if c.JobRetention > 0 {
+		return c.JobRetention
+	}
+	return 256
+}
+
+func (c Config) maxBodyBytes() int64 {
+	if c.MaxBodyBytes > 0 {
+		return c.MaxBodyBytes
+	}
+	return 1 << 20
+}
+
+func (c Config) logf(format string, args ...interface{}) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// solver abstracts the engine call so tests can substitute a controllable
+// fake; the production solver is one-job engine.Run.
+type solver func(ctx context.Context, job engine.Job, logf func(string, ...interface{})) engine.Result
+
+func engineSolver(ctx context.Context, job engine.Job, logf func(string, ...interface{})) engine.Result {
+	return engine.Run(ctx, []engine.Job{job}, engine.Options{Parallel: 1, Logf: logf})[0]
+}
+
+// Server is the HTTP front-end. Create with New, expose via Handler, stop
+// with Close.
+type Server struct {
+	cfg   Config
+	solve solver
+	queue chan *job
+	jobs  *jobStore
+	mux   *http.ServeMux
+
+	base context.Context
+	stop context.CancelFunc
+	wg   sync.WaitGroup
+
+	// closeMu fences admission against Close: enqueues hold the read lock,
+	// Close flips closed under the write lock before draining, so no job can
+	// slip into the queue after the drain and sit "queued" forever.
+	closeMu sync.RWMutex
+	closed  bool
+
+	start       time.Time
+	seq         atomic.Int64
+	solved      atomic.Int64
+	failed      atomic.Int64
+	rejected    atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+}
+
+// New creates a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	return newWithSolver(cfg, engineSolver)
+}
+
+func newWithSolver(cfg Config, solve solver) *Server {
+	base, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:   cfg,
+		solve: solve,
+		queue: make(chan *job, cfg.queueDepth()),
+		jobs:  newJobStore(cfg.jobRetention()),
+		mux:   http.NewServeMux(),
+		base:  base,
+		stop:  stop,
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	for i := 0; i < cfg.workers(); i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the worker pool, aborts running solves and fails every job
+// still queued. It is safe to call more than once.
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	s.closed = true
+	s.closeMu.Unlock()
+	s.stop()
+	s.wg.Wait()
+	for {
+		select {
+		case j := <-s.queue:
+			s.finishJob(j, failedResponse(j, context.Canceled))
+		default:
+			return
+		}
+	}
+}
+
+// admit enqueues a job unless the queue is full or the server is closing.
+func (s *Server) admit(j *job) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return fmt.Errorf("server shutting down")
+	}
+	select {
+	case s.queue <- j:
+		s.jobs.add(j)
+		return nil
+	default:
+		s.rejected.Add(1)
+		return fmt.Errorf("admission queue full, retry later")
+	}
+}
+
+// worker pulls admitted jobs off the queue until the server closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.base.Done():
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one admitted job on this worker and records its outcome.
+func (s *Server) runJob(j *job) {
+	defer j.cancel()
+	if !j.setRunning() {
+		return
+	}
+	res := s.solve(j.ctx, engine.Job{ID: j.id, Circuit: j.circuit, Options: j.opts}, s.cfg.Logf)
+	if res.Err == nil && (res.Result == nil || res.Result.Layout == nil) {
+		res.Err = fmt.Errorf("solver returned no layout")
+	}
+	if res.Err != nil {
+		s.finishJob(j, failedResponse(j, res.Err))
+		return
+	}
+	text := layout.Format(res.Result.Layout)
+	if s.cfg.Cache != nil {
+		s.cfg.Cache.Put(j.key, cache.Entry{
+			Circuit: j.circuit.Name,
+			Layout:  []byte(text),
+			Runtime: res.Runtime,
+			Nodes:   res.Nodes,
+		})
+	}
+	resp := &solveResponse{
+		ID:      j.id,
+		Circuit: j.circuit.Name,
+		Status:  string(statusDone),
+		Layout:  text,
+		Stats:   buildStats(j.circuit, res.Result.Layout, res.Runtime, res.Nodes),
+	}
+	s.finishJob(j, resp)
+}
+
+func (s *Server) finishJob(j *job, resp *solveResponse) {
+	if resp.Status == string(statusDone) {
+		s.solved.Add(1)
+	} else {
+		s.failed.Add(1)
+	}
+	j.finish(resp)
+	s.jobs.markFinished(j.id)
+}
+
+// solveResponse is the JSON document returned by /v1/solve and /v1/jobs.
+type solveResponse struct {
+	ID       string      `json:"id"`
+	Circuit  string      `json:"circuit,omitempty"`
+	Status   string      `json:"status"`
+	CacheHit bool        `json:"cache_hit,omitempty"`
+	Layout   string      `json:"layout,omitempty"`
+	Stats    *solveStats `json:"stats,omitempty"`
+	Error    string      `json:"error,omitempty"`
+}
+
+// solveStats reports how the layout was obtained and how good it is.
+type solveStats struct {
+	RuntimeNS        int64   `json:"runtime_ns"`
+	Runtime          string  `json:"runtime"`
+	Nodes            int     `json:"nodes"`
+	WirelengthUM     float64 `json:"wirelength_um"`
+	TotalBends       int     `json:"total_bends"`
+	MaxBends         int     `json:"max_bends"`
+	Violations       int     `json:"violations"`
+	MaxLengthErrorUM float64 `json:"max_length_error_um"`
+}
+
+// buildStats derives the quality metrics of a layout plus the solve-effort
+// counters.
+func buildStats(c *netlist.Circuit, l *layout.Layout, elapsed time.Duration, nodes int) *solveStats {
+	m := l.Metrics()
+	var wirelength geom.Coord
+	for _, rs := range l.RoutedStrips() {
+		wirelength += rs.EquivalentLength(c.Tech.BendCompensation)
+	}
+	return &solveStats{
+		RuntimeNS:        int64(elapsed),
+		Runtime:          elapsed.String(),
+		Nodes:            nodes,
+		WirelengthUM:     geom.Microns(wirelength),
+		TotalBends:       m.TotalBends,
+		MaxBends:         m.MaxBends,
+		Violations:       len(l.Check(layout.CheckOptions{PinTolerance: 2})),
+		MaxLengthErrorUM: geom.Microns(m.MaxLengthError),
+	}
+}
+
+func failedResponse(j *job, err error) *solveResponse {
+	return &solveResponse{
+		ID:      j.id,
+		Circuit: j.circuit.Name,
+		Status:  string(statusFailed),
+		Error:   err.Error(),
+	}
+}
+
+// handleSolve admits a netlist: cache hits answer immediately, misses are
+// queued onto the worker pool. Synchronous requests (the default) block
+// until the solve finishes or the request context dies; async=1 returns 202
+// with a job ID for polling via /v1/jobs/{id}.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a circuit file to /v1/solve")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.maxBodyBytes()+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		return
+	}
+	if int64(len(body)) > s.cfg.maxBodyBytes() {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("netlist exceeds the %d byte limit", s.cfg.maxBodyBytes()))
+		return
+	}
+	circuit, err := netlist.ParseString(string(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	opts := s.cfg.SolveOptions
+	key := cache.Key(circuit, opts)
+	if s.cfg.Cache != nil {
+		if entry, ok := s.cfg.Cache.Get(key); ok {
+			// An entry whose layout text no longer parses (format drift,
+			// torn disk entry) degrades to a miss and is re-solved — the
+			// cache is an optimization, never a correctness dependency.
+			if l, err := layout.ParseLayoutString(string(entry.Layout), circuit); err == nil {
+				s.cacheHits.Add(1)
+				writeJSON(w, http.StatusOK, cachedResponse(circuit, entry, l))
+				return
+			}
+		}
+		s.cacheMisses.Add(1)
+	}
+
+	timeout := s.cfg.maxSolveTime()
+	if arg := r.URL.Query().Get("timeout"); arg != "" {
+		d, err := time.ParseDuration(arg)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid timeout %q", arg))
+			return
+		}
+		if d < timeout {
+			timeout = d
+		}
+	}
+	async := false
+	switch arg := r.URL.Query().Get("async"); arg {
+	case "", "0", "false":
+	case "1", "true":
+		async = true
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid async flag %q", arg))
+		return
+	}
+
+	// The pool owns the parallelism dimension: with several workers each
+	// flow is pinned to one solver goroutine; a single-worker pool hands the
+	// whole machine to the one flow in flight.
+	if s.cfg.workers() > 1 {
+		opts.Workers = 1
+	}
+
+	ctx, cancel := context.WithTimeout(s.base, timeout)
+	j := &job{
+		id:      fmt.Sprintf("j%06d-%s", s.seq.Add(1), key[:12]),
+		circuit: circuit,
+		key:     key,
+		opts:    opts,
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		status:  statusQueued,
+	}
+
+	if err := s.admit(j); err != nil {
+		cancel()
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+
+	if async {
+		writeJSON(w, http.StatusAccepted, j.snapshot())
+		return
+	}
+
+	// A synchronous client that goes away aborts its solve so the worker
+	// frees up; the AfterFunc is detached once the job finishes normally.
+	detach := context.AfterFunc(r.Context(), j.cancel)
+	defer detach()
+	select {
+	case <-j.done:
+		resp := j.snapshot()
+		writeJSON(w, statusCodeFor(resp), resp)
+	case <-r.Context().Done():
+		writeError(w, http.StatusGatewayTimeout, "request cancelled before the solve finished: "+r.Context().Err().Error())
+	case <-s.base.Done():
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+	}
+}
+
+// cachedResponse rebuilds a full solve response from a cache entry and its
+// already-parsed layout. The layout text is served verbatim — determinism
+// makes it byte-identical to what re-solving would produce — while the
+// quality metrics are recomputed from the parsed layout.
+func cachedResponse(c *netlist.Circuit, entry cache.Entry, l *layout.Layout) *solveResponse {
+	return &solveResponse{
+		ID:       fmt.Sprintf("cached-%s", c.Name),
+		Circuit:  c.Name,
+		Status:   string(statusDone),
+		CacheHit: true,
+		Layout:   string(entry.Layout),
+		Stats:    buildStats(c, l, entry.Runtime, entry.Nodes),
+	}
+}
+
+// statusCodeFor maps a finished job to its HTTP status: deadline and
+// cancellation failures surface as 504, other solver failures as 500.
+func statusCodeFor(resp *solveResponse) int {
+	if resp.Status == string(statusDone) {
+		return http.StatusOK
+	}
+	if strings.Contains(resp.Error, context.DeadlineExceeded.Error()) ||
+		strings.Contains(resp.Error, context.Canceled.Error()) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+// handleJob serves GET /v1/jobs/{id}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET /v1/jobs/{id}")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusBadRequest, "job ID required: /v1/jobs/{id}")
+		return
+	}
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
+		return
+	}
+	resp := j.snapshot()
+	code := http.StatusOK
+	if resp.Status == string(statusFailed) {
+		code = statusCodeFor(resp)
+	}
+	writeJSON(w, code, resp)
+}
+
+// healthResponse is the /healthz document.
+type healthResponse struct {
+	Status        string         `json:"status"`
+	Uptime        string         `json:"uptime"`
+	Workers       int            `json:"workers"`
+	QueueDepth    int            `json:"queue_depth"`
+	QueueCapacity int            `json:"queue_capacity"`
+	Jobs          map[string]int `json:"jobs"`
+	Solved        int64          `json:"solved"`
+	Failed        int64          `json:"failed"`
+	Rejected      int64          `json:"rejected"`
+	CacheHits     int64          `json:"cache_hits"`
+	CacheMisses   int64          `json:"cache_misses"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET /healthz")
+		return
+	}
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:        "ok",
+		Uptime:        time.Since(s.start).Round(time.Millisecond).String(),
+		Workers:       s.cfg.workers(),
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		Jobs:          s.jobs.counts(),
+		Solved:        s.solved.Load(),
+		Failed:        s.failed.Load(),
+		Rejected:      s.rejected.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		CacheMisses:   s.cacheMisses.Load(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// errorResponse is the JSON error document shared by all endpoints.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}

@@ -1,0 +1,383 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rficlayout/internal/cache"
+	"rficlayout/internal/engine"
+	"rficlayout/internal/netlist"
+	"rficlayout/internal/pilp"
+)
+
+// tinyNetlist is a minimal solvable circuit (PIN → M1 → POUT) that the full
+// flow lays out in tens of milliseconds.
+const tinyNetlist = `
+circuit tiny
+area 400 300
+tech name=cmos90 t=5 width=10 delta=-4 pad=60
+device M1 transistor 40 30
+pin M1 in -20 0
+pin M1 out 20 0
+pad PIN
+pad POUT
+strip TL1 PIN.p M1.in length=130
+strip TL2 M1.out POUT.p length=140
+`
+
+func fastConfig() Config {
+	return Config{
+		Workers:    2,
+		QueueDepth: 8,
+		SolveOptions: pilp.Options{
+			ChainPoints:         3,
+			MaxChainPoints:      3,
+			StripTimeLimit:      2 * time.Second,
+			PhaseTimeLimit:      5 * time.Second,
+			MaxRefineIterations: 1,
+		},
+	}
+}
+
+func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postSolve(t *testing.T, url, body string) (*http.Response, solveResponse) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, sr
+}
+
+func TestSolveSyncAndWarmCacheHit(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Cache = cache.NewLRU(16, 0)
+	_, ts := startServer(t, cfg)
+
+	resp, first := postSolve(t, ts.URL+"/v1/solve", tinyNetlist)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first solve: status %d (%s)", resp.StatusCode, first.Error)
+	}
+	if first.Status != "done" || first.CacheHit {
+		t.Fatalf("first solve: status=%s cache_hit=%v, want done/false", first.Status, first.CacheHit)
+	}
+	if first.Layout == "" || !strings.HasPrefix(first.Layout, "layout tiny\n") {
+		t.Fatalf("first solve returned no layout text: %q", first.Layout)
+	}
+	if first.Stats == nil || first.Stats.Nodes <= 0 || first.Stats.RuntimeNS <= 0 {
+		t.Fatalf("first solve missing stats: %+v", first.Stats)
+	}
+	if first.Stats.WirelengthUM <= 0 {
+		t.Errorf("wirelength = %v µm, want > 0", first.Stats.WirelengthUM)
+	}
+
+	// The warm request must hit the cache and return byte-identical layout
+	// text — the deterministic-flow guarantee the cache relies on.
+	resp, second := postSolve(t, ts.URL+"/v1/solve", tinyNetlist)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm solve: status %d (%s)", resp.StatusCode, second.Error)
+	}
+	if !second.CacheHit {
+		t.Fatal("warm solve did not hit the cache")
+	}
+	if second.Layout != first.Layout {
+		t.Errorf("warm cache hit is not byte-identical:\n--- first ---\n%s\n--- second ---\n%s", first.Layout, second.Layout)
+	}
+	if second.Stats == nil || second.Stats.Nodes != first.Stats.Nodes {
+		t.Errorf("warm hit stats differ: %+v vs %+v", second.Stats, first.Stats)
+	}
+
+	// Reordering the netlist declarations must still hit the cache: the key
+	// hashes the canonical form.
+	reordered := strings.Replace(tinyNetlist, "strip TL1 PIN.p M1.in length=130\nstrip TL2 M1.out POUT.p length=140",
+		"strip TL2 M1.out POUT.p length=140\nstrip TL1 PIN.p M1.in length=130", 1)
+	if reordered == tinyNetlist {
+		t.Fatal("test fixture not reordered")
+	}
+	_, third := postSolve(t, ts.URL+"/v1/solve", reordered)
+	if !third.CacheHit || third.Layout != first.Layout {
+		t.Errorf("reordered netlist missed the cache (hit=%v)", third.CacheHit)
+	}
+}
+
+func TestSolveMalformedRequests(t *testing.T) {
+	_, ts := startServer(t, fastConfig())
+	tests := []struct {
+		name     string
+		body     string
+		wantCode int
+		wantIn   string // substring of the error message
+	}{
+		{"garbage keyword", "circuit x\nnonsense line here\n", http.StatusBadRequest, "unknown keyword"},
+		{"empty body", "", http.StatusBadRequest, "no 'circuit' declaration"},
+		{"fails validation", "circuit x\narea 100 100\nstrip TL1 A.p B.q length=50\n", http.StatusBadRequest, "no device"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			resp, sr := postSolve(t, ts.URL+"/v1/solve", tt.body)
+			if resp.StatusCode != tt.wantCode {
+				t.Errorf("status = %d, want %d", resp.StatusCode, tt.wantCode)
+			}
+			if !strings.Contains(sr.Error, tt.wantIn) {
+				t.Errorf("error %q does not mention %q", sr.Error, tt.wantIn)
+			}
+		})
+	}
+
+	t.Run("wrong method", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/v1/solve")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /v1/solve = %d, want 405", resp.StatusCode)
+		}
+	})
+
+	t.Run("oversized body", func(t *testing.T) {
+		cfg := fastConfig()
+		cfg.MaxBodyBytes = 64
+		_, small := startServer(t, cfg)
+		resp, _ := postSolve(t, small.URL+"/v1/solve", tinyNetlist)
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("oversized body = %d, want 413", resp.StatusCode)
+		}
+	})
+}
+
+func TestSolveDeadlineExceeded(t *testing.T) {
+	_, ts := startServer(t, fastConfig())
+	resp, sr := postSolve(t, ts.URL+"/v1/solve?timeout=1ns", tinyNetlist)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%+v), want 504", resp.StatusCode, sr)
+	}
+	if sr.Status != "failed" || !strings.Contains(sr.Error, "deadline exceeded") {
+		t.Errorf("response = %+v, want failed with deadline error", sr)
+	}
+}
+
+func TestSolveAsyncAndJobLookup(t *testing.T) {
+	_, ts := startServer(t, fastConfig())
+	resp, sr := postSolve(t, ts.URL+"/v1/solve?async=1", tinyNetlist)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async solve: status %d, want 202", resp.StatusCode)
+	}
+	if sr.ID == "" || (sr.Status != "queued" && sr.Status != "running") {
+		t.Fatalf("async response = %+v, want queued/running with an ID", sr)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	var final solveResponse
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished: %+v", sr.ID, final)
+		}
+		r, err := http.Get(ts.URL + "/v1/jobs/" + sr.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(r.Body).Decode(&final)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.Status == "done" || final.Status == "failed" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if final.Status != "done" {
+		t.Fatalf("job finished as %s: %s", final.Status, final.Error)
+	}
+	if final.Layout == "" || final.Stats == nil {
+		t.Errorf("finished job missing layout/stats: %+v", final)
+	}
+
+	r, err := http.Get(ts.URL + "/v1/jobs/no-such-job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job = %d, want 404", r.StatusCode)
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	blocking := func(ctx context.Context, job engine.Job, logf func(string, ...interface{})) engine.Result {
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return engine.Result{ID: job.ID, Name: job.Circuit.Name, Err: ctx.Err()}
+	}
+	cfg := fastConfig()
+	cfg.Workers = 1
+	cfg.QueueDepth = 1
+	s := newWithSolver(cfg, blocking)
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		close(release)
+		ts.Close()
+		s.Close()
+	}()
+
+	// First job occupies the single worker...
+	resp, _ := postSolve(t, ts.URL+"/v1/solve?async=1", tinyNetlist)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 1: status %d", resp.StatusCode)
+	}
+	<-started
+	// ...the second fills the depth-1 queue...
+	resp, _ = postSolve(t, ts.URL+"/v1/solve?async=1", tinyNetlist)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 2: status %d", resp.StatusCode)
+	}
+	// ...and the third must be rejected by admission control.
+	resp, sr := postSolve(t, ts.URL+"/v1/solve?async=1", tinyNetlist)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("job 3: status %d (%+v), want 503", resp.StatusCode, sr)
+	}
+	if !strings.Contains(sr.Error, "queue full") {
+		t.Errorf("rejection error = %q", sr.Error)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Cache = cache.NewLRU(16, 0)
+	_, ts := startServer(t, cfg)
+	postSolve(t, ts.URL+"/v1/solve", tinyNetlist)
+	postSolve(t, ts.URL+"/v1/solve", tinyNetlist)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	var h healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q", h.Status)
+	}
+	if h.Workers != cfg.Workers || h.QueueCapacity != cfg.QueueDepth {
+		t.Errorf("workers/queue = %d/%d, want %d/%d", h.Workers, h.QueueCapacity, cfg.Workers, cfg.QueueDepth)
+	}
+	if h.Solved != 1 || h.CacheHits != 1 || h.CacheMisses != 1 {
+		t.Errorf("counters solved=%d hits=%d misses=%d, want 1/1/1", h.Solved, h.CacheHits, h.CacheMisses)
+	}
+}
+
+// TestServerDeterministicAcrossRestart solves the same circuit on two
+// independent servers and checks the layouts are byte-identical — the
+// property that makes the cross-process cache exact.
+func TestServerDeterministicAcrossRestart(t *testing.T) {
+	var layouts [2]string
+	for i := range layouts {
+		_, ts := startServer(t, fastConfig())
+		resp, sr := postSolve(t, ts.URL+"/v1/solve", tinyNetlist)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("server %d: status %d (%s)", i, resp.StatusCode, sr.Error)
+		}
+		layouts[i] = sr.Layout
+	}
+	if layouts[0] != layouts[1] {
+		t.Error("two servers produced different layouts for the same circuit")
+	}
+}
+
+func TestJobRetentionEviction(t *testing.T) {
+	cfg := fastConfig()
+	cfg.JobRetention = 2
+	_, ts := startServer(t, cfg)
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		// Distinct circuits so no cache/keys interfere; retention is about
+		// the job store only.
+		body := strings.Replace(tinyNetlist, "circuit tiny", fmt.Sprintf("circuit tiny%d", i), 1)
+		resp, sr := postSolve(t, ts.URL+"/v1/solve", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d: status %d (%s)", i, resp.StatusCode, sr.Error)
+		}
+		ids = append(ids, sr.ID)
+	}
+	evicted, kept := ids[0], ids[len(ids)-1]
+	r, err := http.Get(ts.URL + "/v1/jobs/" + evicted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("oldest job still present (%d), want evicted", r.StatusCode)
+	}
+	r, err = http.Get(ts.URL + "/v1/jobs/" + kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Errorf("newest job = %d, want 200", r.StatusCode)
+	}
+}
+
+// TestCorruptCacheEntryDegradesToMiss locks in the contract that the cache
+// is never a correctness dependency: an entry whose layout text does not
+// parse is re-solved (and overwritten), not served.
+func TestCorruptCacheEntryDegradesToMiss(t *testing.T) {
+	cfg := fastConfig()
+	lru := cache.NewLRU(16, 0)
+	cfg.Cache = lru
+	circuit, err := netlist.ParseString(tinyNetlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := cache.Key(circuit, cfg.SolveOptions)
+	lru.Put(key, cache.Entry{Circuit: "tiny", Layout: []byte("not a layout file")})
+
+	_, ts := startServer(t, cfg)
+	resp, sr := postSolve(t, ts.URL+"/v1/solve", tinyNetlist)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (%s)", resp.StatusCode, sr.Error)
+	}
+	if sr.CacheHit {
+		t.Error("corrupt entry served as a cache hit")
+	}
+	if !strings.HasPrefix(sr.Layout, "layout tiny\n") {
+		t.Errorf("re-solve did not produce a layout: %q", sr.Layout)
+	}
+	// The re-solve must have replaced the corrupt entry.
+	if entry, ok := lru.Get(key); !ok || !strings.HasPrefix(string(entry.Layout), "layout tiny\n") {
+		t.Error("corrupt entry not overwritten by the re-solve")
+	}
+}
