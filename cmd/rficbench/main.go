@@ -7,16 +7,29 @@
 // (binding time limits stop solves at wall-clock-dependent points). Ctrl-C
 // cancels cleanly at the next solver boundary.
 //
+// With -shardguard the harness solves the synthetic large benchmark twice —
+// monolithic phase 1 and sharded phase 1 (-shard-size) — reports the phase-1
+// wall-clock of both, verifies the sharded run is byte-identical across
+// worker counts, and exits non-zero when the sharded layout score regresses
+// beyond -shard-tol. CI runs this as the sharding guard.
+//
+// With -stats-out FILE every solved job appends one JSON line (circuit,
+// runtime, branch-and-bound nodes, shard count) to FILE, building the
+// perf-trajectory artifact CI archives run over run.
+//
 // Usage:
 //
 //	rficbench -table1 -parallel 4
+//	rficbench -table1 -stats-out solve-stats.jsonl
 //	rficbench -figure7 -outdir out/
 //	rficbench -figure11a
 //	rficbench -figure11b
+//	rficbench -shardguard -shard-size 6 -shard-tol 0.1
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,18 +52,30 @@ func main() {
 	figure7 := flag.Bool("figure7", false, "regenerate the Figure 7 phase snapshots (SVG)")
 	figure11a := flag.Bool("figure11a", false, "regenerate Figure 11(a): 94 GHz LNA S-parameters")
 	figure11b := flag.Bool("figure11b", false, "regenerate Figure 11(b): 60 GHz buffer S-parameters")
+	shardGuard := flag.Bool("shardguard", false, "compare monolithic vs sharded phase 1 on the large synthetic circuit; fail on score regression")
 	outDir := flag.String("outdir", ".", "directory for SVG output")
 	stripTime := flag.Duration("strip-time", 2*time.Second, "time limit per per-strip ILP solve")
 	parallel := flag.Int("parallel", 0, "concurrent circuit solves for -table1 (0 = GOMAXPROCS)")
+	shardSize := flag.Int("shard-size", 0, "shard the phase-1 global adjustment into device clusters of at most this size (0 = monolithic; -shardguard requires > 0)")
+	shardTol := flag.Float64("shard-tol", 0.1, "allowed fractional score regression of the sharded run in -shardguard")
+	guardScale := flag.Int("guard-scale", 1, "size multiplier of the synthetic circuit used by -shardguard")
+	statsOut := flag.String("stats-out", "", "append one JSON line of solve stats per job to this file")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := pilp.Options{StripTimeLimit: *stripTime, MaxRefineIterations: 2}
+	opts := pilp.Options{StripTimeLimit: *stripTime, MaxRefineIterations: 2, ShardSize: *shardSize}
+
+	stats, err := newStatsWriter(*statsOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rficbench:", err)
+		os.Exit(1)
+	}
+	defer stats.Close()
 
 	if *table1 {
-		runTable1(ctx, opts, *parallel)
+		runTable1(ctx, opts, *parallel, stats)
 	}
 	if *figure7 {
 		runFigure7(ctx, opts, *outDir)
@@ -61,10 +86,146 @@ func main() {
 	if *figure11b {
 		runFigure11(ctx, "buffer60", opts)
 	}
-	if !*table1 && !*figure7 && !*figure11a && !*figure11b {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -figure7, -figure11a or -figure11b")
+	if *shardGuard {
+		if !runShardGuard(ctx, opts, *shardSize, *shardTol, *guardScale, stats) {
+			stats.Close()
+			os.Exit(1)
+		}
+	}
+	if !*table1 && !*figure7 && !*figure11a && !*figure11b && !*shardGuard {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -figure7, -figure11a, -figure11b or -shardguard")
 		os.Exit(2)
 	}
+}
+
+// statsWriter appends one JSON document per line to a file (JSONL), the
+// accumulating perf-trajectory format the CI bench artifacts collect. A nil
+// receiver (no -stats-out) drops every record.
+type statsWriter struct {
+	f   *os.File
+	enc *json.Encoder
+}
+
+// solveRecord is one JSONL line of solve stats.
+type solveRecord struct {
+	Circuit   string  `json:"circuit"`
+	Variant   string  `json:"variant,omitempty"` // e.g. "small-area", "monolithic", "sharded"
+	RuntimeNS int64   `json:"runtime_ns"`
+	Phase1NS  int64   `json:"phase1_ns,omitempty"`
+	Nodes     int     `json:"nodes"`
+	Shards    int     `json:"shards"`
+	Score     float64 `json:"score"`
+}
+
+func newStatsWriter(path string) (*statsWriter, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("opening -stats-out file: %w", err)
+	}
+	return &statsWriter{f: f, enc: json.NewEncoder(f)}, nil
+}
+
+func (w *statsWriter) record(rec solveRecord) {
+	if w == nil {
+		return
+	}
+	_ = w.enc.Encode(rec)
+}
+
+func (w *statsWriter) Close() {
+	if w != nil && w.f != nil {
+		_ = w.f.Close()
+		w.f = nil
+	}
+}
+
+// phase1Elapsed reads the wall-clock of phase 1 (construction + global
+// adjustment) from the flow's snapshots.
+func phase1Elapsed(res *pilp.Result) time.Duration {
+	if len(res.Snapshots) == 0 {
+		return 0
+	}
+	return res.Snapshots[0].Elapsed
+}
+
+// runShardGuard runs phase 1 (construct + global adjustment) of the
+// synthetic large circuit with the monolithic and the sharded solver —
+// pilp.AdjustPhase1 isolates exactly the subsystem the sharding refactor
+// touches, so the guard stays fast enough for CI — prints the wall-clock
+// comparison, and reports whether the sharded run held the quality bar:
+// byte-identical layouts across 1 and 4 workers, and a phase-1 score within
+// (1+tol)·monolithic plus one bend of absolute slack (so a perfect-score
+// baseline does not make every nonzero score a failure).
+func runShardGuard(ctx context.Context, opts pilp.Options, shardSize int, tol float64, scale int, stats *statsWriter) bool {
+	if shardSize <= 0 {
+		fmt.Fprintln(os.Stderr, "rficbench: -shardguard requires -shard-size > 0")
+		return false
+	}
+	c := circuits.Build(circuits.LargeSpec(scale))
+	fmt.Printf("shardguard: %s\n", c.Stats())
+
+	mono := opts
+	mono.ShardSize = 0
+	monoRes, err := pilp.AdjustPhase1(ctx, c, mono)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rficbench: monolithic phase 1:", err)
+		return false
+	}
+	monoScore := pilp.Score(monoRes.Layout)
+	stats.record(solveRecord{
+		Circuit: c.Name, Variant: "phase1-monolithic",
+		RuntimeNS: int64(monoRes.Runtime), Phase1NS: int64(monoRes.Runtime),
+		Nodes: monoRes.Nodes, Score: monoScore,
+	})
+
+	sharded := opts
+	sharded.ShardSize = shardSize
+	var layouts [2]string
+	var shardRes *pilp.Phase1Result
+	for i, workers := range []int{1, 4} {
+		run := sharded
+		run.Workers = workers
+		res, err := pilp.AdjustPhase1(ctx, c, run)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rficbench: sharded phase 1 (workers=%d): %v\n", workers, err)
+			return false
+		}
+		layouts[i] = layout.Format(res.Layout)
+		shardRes = res
+	}
+	if layouts[0] != layouts[1] {
+		fmt.Fprintln(os.Stderr, "rficbench: sharded layouts differ between 1 and 4 workers — determinism contract broken")
+		return false
+	}
+	shardScore := pilp.Score(shardRes.Layout)
+	stats.record(solveRecord{
+		Circuit: c.Name, Variant: "phase1-sharded",
+		RuntimeNS: int64(shardRes.Runtime), Phase1NS: int64(shardRes.Runtime),
+		Nodes: shardRes.Nodes, Shards: len(shardRes.Shards), Score: shardScore,
+	})
+
+	speedup := 0.0
+	if shardRes.Runtime > 0 {
+		speedup = float64(monoRes.Runtime) / float64(shardRes.Runtime)
+	}
+	fmt.Printf("shardguard: phase 1 monolithic %v, sharded %v at 4 workers (%d shards, %.2fx)\n",
+		monoRes.Runtime.Round(time.Millisecond), shardRes.Runtime.Round(time.Millisecond),
+		len(shardRes.Shards), speedup)
+	fmt.Printf("shardguard: score monolithic %.1f, sharded %.1f (tolerance %.0f%%)\n",
+		monoScore, shardScore, tol*100)
+	if len(shardRes.Shards) < 2 {
+		fmt.Fprintln(os.Stderr, "rficbench: sharded run did not actually shard")
+		return false
+	}
+	if allowed := monoScore*(1+tol) + 100; shardScore > allowed {
+		fmt.Fprintf(os.Stderr, "rficbench: sharded score %.1f exceeds allowed %.1f\n", shardScore, allowed)
+		return false
+	}
+	fmt.Println("shardguard: OK")
+	return true
 }
 
 func buildCircuit(spec circuits.Spec, small bool) *netlist.Circuit {
@@ -74,7 +235,7 @@ func buildCircuit(spec circuits.Spec, small bool) *netlist.Circuit {
 	return circuits.Build(spec)
 }
 
-func runTable1(ctx context.Context, opts pilp.Options, parallel int) {
+func runTable1(ctx context.Context, opts pilp.Options, parallel int, stats *statsWriter) {
 	type cell struct {
 		spec  circuits.Spec
 		small bool
@@ -119,6 +280,15 @@ func runTable1(ctx context.Context, opts pilp.Options, parallel int) {
 			fmt.Fprintf(os.Stderr, "rficbench: %s: %v\n", r.Name, r.Err)
 			continue
 		}
+		variant := ""
+		if cl.small {
+			variant = "small-area"
+		}
+		stats.record(solveRecord{
+			Circuit: cl.spec.Name, Variant: variant,
+			RuntimeNS: int64(r.Result.Runtime), Phase1NS: int64(phase1Elapsed(r.Result)),
+			Nodes: r.Nodes, Shards: len(r.Shards), Score: pilp.Score(r.Result.Layout),
+		})
 		m := r.Result.Layout.Metrics()
 		row.PILPMaxBends = m.MaxBends
 		row.PILPTotalBends = m.TotalBends

@@ -22,9 +22,17 @@
 //	internal/pilp                progressive ILP flow of the paper (Section 5):
 //	                             construct → global adjust → per-strip exact
 //	                             lengths → refinement; independent per-strip
-//	                             and per-rotation subproblems run concurrently
+//	                             and per-rotation subproblems run concurrently;
+//	                             with ShardSize set, the phase-1 adjustment
+//	                             solves one sub-MILP per device cluster under
+//	                             a bounded boundary-coordination loop
+//	internal/partition           connectivity clustering for the sharded
+//	                             phase 1: capped union-find over the strip
+//	                             graph plus deterministic first-fit packing
 //	internal/ilpmodel            builds the layout MILP (device placement,
 //	                             chain-point routing, non-overlap, Eq. 1–28)
+//	                             and cluster-local sub-MILPs with penalized
+//	                             boundary slack (BuildSub)
 //	internal/milp                branch-and-bound with batched parallel LP
 //	                             evaluation, warm starts, dive heuristic
 //	internal/lp                  bounded-variable primal simplex
@@ -42,9 +50,15 @@
 // dequeues nodes in fixed-size batches and makes all decisions sequentially;
 // workers only evaluate the LP relaxations of a batch. The pilp flow solves
 // per-strip subproblems against a frozen snapshot of the layout and merges
-// them in a fixed order. Consequently the same circuit yields byte-identical
-// layouts for every worker count — the property the engine relies on to
-// scale batches across cores. The one caveat: a binding time limit (or
+// them in a fixed order; the sharded phase-1 adjustment follows the same
+// discipline (cluster sub-solves against a frozen snapshot, merges in
+// cluster order, drift detection as a pure function of the merged layout).
+// Consequently the same circuit yields byte-identical layouts for every
+// worker count — the property the engine relies on to scale batches across
+// cores. Model construction is deterministic too: constraint emission walks
+// circuit declaration order, never Go map order, because on a degenerate
+// optimum the simplex pivot sequence decides which vertex — and therefore
+// which layout — comes back. The one caveat: a binding time limit (or
 // cancellation) interrupts the search at a timing-dependent point, so only
 // runs whose limits do not bind are comparable.
 //
@@ -73,7 +87,10 @@
 // Admission control is explicit: a full queue answers 503 immediately, a
 // per-request timeout that expires answers 504, and repeating a request
 // (even with reordered netlist declarations) answers from the cache without
-// touching the solver.
+// touching the solver. Concurrent identical requests are coalesced by a
+// singleflight layer — one solve runs, every waiter shares its result —
+// and GET /healthz reports the coalescing counter plus the cache tier's
+// hit/miss/eviction/footprint stats.
 package main
 
 import "fmt"

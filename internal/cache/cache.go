@@ -43,6 +43,9 @@ type Entry struct {
 	Runtime time.Duration
 	// Nodes is the total branch-and-bound node count of the original solve.
 	Nodes int
+	// Shards is how many phase-1 clusters the original solve used (zero for
+	// the monolithic phase 1).
+	Shards int
 }
 
 // size approximates the memory footprint of the entry for the LRU byte
@@ -66,10 +69,18 @@ type Cache interface {
 	Put(key string, e Entry)
 }
 
-// Stats reports cache effectiveness counters.
+// Stats reports cache effectiveness counters. Entries and Bytes describe the
+// current footprint where the tier can measure it cheaply (zero otherwise).
 type Stats struct {
-	Hits    int64
-	Misses  int64
-	Entries int
-	Bytes   int64
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
+// StatsReader is implemented by tiers that report effectiveness counters;
+// the serving front-end exposes them on GET /healthz.
+type StatsReader interface {
+	Stats() Stats
 }

@@ -279,3 +279,79 @@ func TestTieredPromotion(t *testing.T) {
 		t.Error("put missing from slow tier")
 	}
 }
+
+func TestLRUEvictionCounter(t *testing.T) {
+	c := NewLRU(2, 0)
+	for i := 0; i < 5; i++ {
+		c.Put(key(i), entry("x", "layout"))
+	}
+	st := c.Stats()
+	if st.Evictions != 3 {
+		t.Errorf("evictions = %d, want 3 (5 puts into a 2-entry cache)", st.Evictions)
+	}
+	if st.Entries != 2 {
+		t.Errorf("entries = %d, want 2", st.Entries)
+	}
+}
+
+func TestDirStats(t *testing.T) {
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get(key(1)); ok {
+		t.Fatal("hit on empty dir")
+	}
+	d.Put(key(1), entry("a", "layout a"))
+	if _, ok := d.Get(key(1)); !ok {
+		t.Fatal("miss after put")
+	}
+	st := d.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if st.Entries != 1 || st.Bytes <= 0 {
+		t.Errorf("footprint = %d entries / %d bytes, want 1 entry with bytes", st.Entries, st.Bytes)
+	}
+}
+
+func TestTieredStatsCountEachLookupOnce(t *testing.T) {
+	fast := NewLRU(4, 0)
+	slow, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(fast, slow)
+
+	slow.Put(key(1), entry("a", "layout a"))
+	if _, ok := tiered.Get(key(1)); !ok { // slow hit (promoted)
+		t.Fatal("slow-tier entry not found")
+	}
+	if _, ok := tiered.Get(key(1)); !ok { // fast hit
+		t.Fatal("promoted entry not found")
+	}
+	if _, ok := tiered.Get(key(2)); ok { // both miss
+		t.Fatal("hit on absent key")
+	}
+	st := tiered.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("tiered stats = %+v, want 2 hits / 1 miss", st)
+	}
+}
+
+func TestEntryShardsRoundTrip(t *testing.T) {
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entry("a", "layout a")
+	e.Shards = 5
+	d.Put(key(1), e)
+	got, ok := d.Get(key(1))
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if got.Shards != 5 {
+		t.Errorf("shards = %d, want 5", got.Shards)
+	}
+}

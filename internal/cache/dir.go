@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,7 +17,9 @@ import (
 // sharing a directory never observe torn entries. Dir is safe for concurrent
 // use; all I/O errors degrade to cache misses or dropped writes.
 type Dir struct {
-	path string
+	path   string
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 // NewDir opens (creating if needed) a directory-backed cache tier.
@@ -26,12 +30,15 @@ func NewDir(path string) (*Dir, error) {
 	return &Dir{path: path}, nil
 }
 
-// diskEntry is the JSON on-disk form of an Entry.
+// diskEntry is the JSON on-disk form of an Entry. Shards is omitted for
+// monolithic solves, so entries written before sharding existed decode
+// unchanged.
 type diskEntry struct {
 	Circuit   string    `json:"circuit"`
 	Layout    string    `json:"layout"`
 	RuntimeNS int64     `json:"runtime_ns"`
 	Nodes     int       `json:"nodes"`
+	Shards    int       `json:"shards,omitempty"`
 	CreatedAt time.Time `json:"created_at"`
 }
 
@@ -58,21 +65,26 @@ func (d *Dir) file(key string) string {
 // miss.
 func (d *Dir) Get(key string) (Entry, bool) {
 	if !keyOK(key) {
+		d.misses.Add(1)
 		return Entry{}, false
 	}
 	data, err := os.ReadFile(d.file(key))
 	if err != nil {
+		d.misses.Add(1)
 		return Entry{}, false
 	}
 	var de diskEntry
 	if err := json.Unmarshal(data, &de); err != nil {
+		d.misses.Add(1)
 		return Entry{}, false
 	}
+	d.hits.Add(1)
 	return Entry{
 		Circuit: de.Circuit,
 		Layout:  []byte(de.Layout),
 		Runtime: time.Duration(de.RuntimeNS),
 		Nodes:   de.Nodes,
+		Shards:  de.Shards,
 	}, true
 }
 
@@ -87,6 +99,7 @@ func (d *Dir) Put(key string, e Entry) {
 		Layout:    string(e.Layout),
 		RuntimeNS: int64(e.Runtime),
 		Nodes:     e.Nodes,
+		Shards:    e.Shards,
 		CreatedAt: time.Now().UTC(),
 	})
 	if err != nil {
@@ -108,11 +121,34 @@ func (d *Dir) Put(key string, e Entry) {
 	}
 }
 
+// Stats reports the hit/miss counters of this process plus the directory's
+// current footprint (entry files and their byte total, scanned on demand).
+func (d *Dir) Stats() Stats {
+	s := Stats{Hits: d.hits.Load(), Misses: d.misses.Load()}
+	entries, err := os.ReadDir(d.path)
+	if err != nil {
+		return s
+	}
+	for _, de := range entries {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			continue
+		}
+		s.Entries++
+		if info, err := de.Info(); err == nil {
+			s.Bytes += info.Size()
+		}
+	}
+	return s
+}
+
 // Tiered layers a fast cache in front of a slow one: gets try fast first and
 // promote slow hits, puts write through to both.
 type Tiered struct {
 	fast Cache
 	slow Cache
+
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 // NewTiered combines a fast (typically in-memory) and a slow (typically
@@ -124,13 +160,32 @@ func NewTiered(fast, slow Cache) *Tiered {
 // Get tries the fast tier, falls back to the slow tier and promotes hits.
 func (t *Tiered) Get(key string) (Entry, bool) {
 	if e, ok := t.fast.Get(key); ok {
+		t.hits.Add(1)
 		return e, true
 	}
 	e, ok := t.slow.Get(key)
 	if ok {
+		t.hits.Add(1)
 		t.fast.Put(key, e)
+	} else {
+		t.misses.Add(1)
 	}
 	return e, ok
+}
+
+// Stats reports the combined view: a hit in either tier counts once (the
+// per-tier counters would double-count fast misses that the slow tier
+// answers), while evictions and the footprint come from the fast tier when
+// it can report them.
+func (t *Tiered) Stats() Stats {
+	s := Stats{Hits: t.hits.Load(), Misses: t.misses.Load()}
+	if sr, ok := t.fast.(StatsReader); ok {
+		fs := sr.Stats()
+		s.Evictions = fs.Evictions
+		s.Entries = fs.Entries
+		s.Bytes = fs.Bytes
+	}
+	return s
 }
 
 // Put writes through to both tiers.

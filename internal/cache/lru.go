@@ -16,6 +16,7 @@ type LRU struct {
 	items      map[string]*list.Element
 	hits       int64
 	misses     int64
+	evictions  int64
 }
 
 type lruItem struct {
@@ -88,12 +89,13 @@ func (c *LRU) Put(key string, e Entry) {
 		c.ll.Remove(oldest)
 		delete(c.items, item.key)
 		c.bytes -= item.entry.size()
+		c.evictions++
 	}
 }
 
-// Stats returns hit/miss counters and the current footprint.
+// Stats returns hit/miss/eviction counters and the current footprint.
 func (c *LRU) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Bytes: c.bytes}
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.ll.Len(), Bytes: c.bytes}
 }

@@ -11,7 +11,10 @@ package circuits
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"strconv"
+	"strings"
 
 	"rficlayout/internal/geom"
 	"rficlayout/internal/netlist"
@@ -44,11 +47,52 @@ func Table1() []Spec {
 	}
 }
 
-// BySpecName returns the Table 1 spec with the given name.
+// LargeSpec returns a synthetic stress circuit roughly scale× the size of
+// the largest Table 1 design, for exercising the sharded phase-1 pipeline:
+// the device/microstrip counts grow linearly with scale and the layout area
+// grows with √scale per side so the density stays comparable. The generation
+// is seeded, so a given scale always yields the same circuit. Scale values
+// below 1 are clamped to 1; LargeSpec(1) is "large" and reachable through
+// BySpecName.
+func LargeSpec(scale int) Spec {
+	if scale < 1 {
+		scale = 1
+	}
+	side := math.Sqrt(float64(scale))
+	name := "large"
+	if scale > 1 {
+		name = fmt.Sprintf("large%d", scale)
+	}
+	return Spec{
+		Name:        name,
+		Microstrips: 20 * scale,
+		Devices:     30 * scale,
+		AreaAWidth:  math.Round(900 * side),
+		AreaAHeight: math.Round(640 * side),
+		AreaBWidth:  math.Round(850 * side),
+		AreaBHeight: math.Round(600 * side),
+		Frequency:   60,
+		Seed:        1000 + int64(scale),
+	}
+}
+
+// BySpecName returns the Table 1 spec with the given name, or the synthetic
+// large-circuit spec for "large" / "largeN" (e.g. "large4" is four times the
+// base size).
 func BySpecName(name string) (Spec, error) {
 	for _, s := range Table1() {
 		if s.Name == name {
 			return s, nil
+		}
+	}
+	if rest, ok := strings.CutPrefix(name, "large"); ok {
+		if rest == "" {
+			return LargeSpec(1), nil
+		}
+		// Atoi (rather than Sscanf) so trailing junk like "large4x" stays
+		// unknown; "large1" is an accepted alias for "large".
+		if scale, err := strconv.Atoi(rest); err == nil && scale >= 1 {
+			return LargeSpec(scale), nil
 		}
 	}
 	return Spec{}, fmt.Errorf("circuits: unknown benchmark circuit %q", name)

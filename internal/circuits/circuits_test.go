@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"rficlayout/internal/geom"
+	"rficlayout/internal/partition"
 )
 
 func TestTable1SpecsMatchPaperStatistics(t *testing.T) {
@@ -74,6 +75,54 @@ func TestBuildIsDeterministic(t *testing.T) {
 	}
 	if _, err := BySpecName("nothere"); err == nil {
 		t.Error("unknown spec accepted")
+	}
+}
+
+// TestLargeSpecShardsIntoClusters pins the property the sharded phase-1
+// pipeline relies on: the synthetic large circuit is valid, matches its spec
+// counts, and splits into at least four connectivity clusters under a small
+// shard size.
+func TestLargeSpecShardsIntoClusters(t *testing.T) {
+	for _, scale := range []int{1, 2} {
+		spec := LargeSpec(scale)
+		c := Build(spec)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("scale %d: invalid circuit: %v", scale, err)
+		}
+		if len(c.Microstrips) != spec.Microstrips || len(c.Devices) != spec.Devices {
+			t.Errorf("scale %d: got %d strips / %d devices, want %d / %d",
+				scale, len(c.Microstrips), len(c.Devices), spec.Microstrips, spec.Devices)
+		}
+		clusters := partition.Clusters(c, partition.Options{MaxDevices: 5})
+		if len(clusters) < 4 {
+			t.Errorf("scale %d: only %d clusters at shard size 5, want >= 4", scale, len(clusters))
+		}
+	}
+}
+
+func TestLargeSpecByName(t *testing.T) {
+	s, err := BySpecName("large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != LargeSpec(1) {
+		t.Errorf("BySpecName(large) = %+v", s)
+	}
+	s, err = BySpecName("large4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != LargeSpec(4) {
+		t.Errorf("BySpecName(large4) = %+v", s)
+	}
+	if s, err := BySpecName("large1"); err != nil || s != LargeSpec(1) {
+		t.Errorf("large1 should alias large: %+v, %v", s, err)
+	}
+	if _, err := BySpecName("large0"); err == nil {
+		t.Error("large0 accepted")
+	}
+	if _, err := BySpecName("large4x"); err == nil {
+		t.Error("large4x accepted")
 	}
 }
 

@@ -57,7 +57,11 @@ type Result struct {
 	Runtime time.Duration
 	// Nodes is the total branch-and-bound node count of the job's flow, zero
 	// when the job failed before solving.
-	Nodes  int
+	Nodes int
+	// Shards echoes the per-cluster sub-solve stats of the sharded phase-1
+	// adjustment (pilp.Result.Shards); nil when the flow ran the monolithic
+	// phase 1 or failed before solving.
+	Shards []pilp.ShardStat
 	Result *pilp.Result
 	Err    error
 }
@@ -118,6 +122,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) []Result {
 			results[i].Runtime = time.Since(start)
 			if results[i].Result != nil {
 				results[i].Nodes = results[i].Result.Nodes
+				results[i].Shards = results[i].Result.Shards
 			}
 			if results[i].Err != nil {
 				opts.logf("engine: job %s failed after %v: %v", results[i].Name, results[i].Runtime, results[i].Err)

@@ -211,9 +211,15 @@ func (m *Model) pinExpr(dv *deviceVars, pin string) (x, y *milp.Expr, err error)
 // form with unmatched-length and overlap penalties added by the other build
 // steps).
 func (m *Model) buildObjective() {
+	// Iterate strips in circuit declaration order, never map order: the
+	// envelope-constraint order shapes the simplex pivot sequence, and on a
+	// degenerate optimum a different pivot sequence lands on a different
+	// vertex — the model must be a pure function of the circuit and config
+	// for the flow's determinism contract (and the result cache) to hold.
 	w := m.Config.weights()
 	var nbExprs []*milp.Expr
-	for _, sv := range m.strips {
+	for _, ms := range m.Circuit.Microstrips {
+		sv := m.strips[ms.Name]
 		nbExprs = append(nbExprs, sv.nbExpr)
 		// β · Σ n_b,i
 		m.MILP.AddObjectiveExpr(sv.nbExpr, w.Beta)
@@ -223,7 +229,8 @@ func (m *Model) buildObjective() {
 
 	if m.Config.SoftLength {
 		var luExprs []*milp.Expr
-		for _, sv := range m.strips {
+		for _, ms := range m.Circuit.Microstrips {
+			sv := m.strips[ms.Name]
 			if sv.free {
 				luExprs = append(luExprs, milp.Term(sv.lu, 1))
 				m.MILP.AddObjectiveCoef(sv.lu, w.Zeta)

@@ -1,0 +1,48 @@
+package ilpmodel
+
+import "rficlayout/internal/netlist"
+
+// SubSpec names one cluster's share of a sharded solve: the devices and
+// strips the sub-model may move, and the subset of strips whose far terminal
+// is frozen in another cluster. internal/partition produces these specs and
+// internal/pilp solves one sub-model per cluster concurrently, coordinating
+// the boundaries between rounds.
+type SubSpec struct {
+	// FreeDevices are the cluster's movable devices.
+	FreeDevices []string
+	// FreeStrips are the strips the cluster owns; every other strip stays
+	// frozen at its position in the Fixed layout.
+	FreeStrips []string
+	// BoundaryStrips is the subset of FreeStrips whose far terminal device
+	// belongs to another cluster. That terminal is pinned to the snapshot and
+	// bound through a penalized slack so the shard stays feasible.
+	BoundaryStrips []string
+}
+
+// SubConfig restricts a full-model configuration to one cluster: only the
+// spec's devices and strips stay free (empty slices mean "none", unlike the
+// nil-means-all convention of Config), and the boundary strips get penalized
+// terminal slack. Everything else — warm layout, soft lengths, confinement,
+// pair pruning — carries over from the base configuration unchanged.
+func SubConfig(base Config, spec SubSpec) Config {
+	cfg := base
+	cfg.FreeDevices = nonNilNames(spec.FreeDevices)
+	cfg.FreeStrips = nonNilNames(spec.FreeStrips)
+	cfg.BoundarySlack = spec.BoundaryStrips
+	return cfg
+}
+
+// BuildSub builds the cluster-local MILP of one shard. Objects outside the
+// spec enter the model as constants (their mutual non-overlap pairs are
+// dropped entirely), so the sub-model's size tracks the cluster, not the
+// circuit.
+func BuildSub(ckt *netlist.Circuit, base Config, spec SubSpec) (*Model, error) {
+	return Build(ckt, SubConfig(base, spec))
+}
+
+func nonNilNames(names []string) []string {
+	if names == nil {
+		return []string{}
+	}
+	return names
+}

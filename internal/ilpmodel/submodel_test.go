@@ -1,0 +1,137 @@
+package ilpmodel
+
+import (
+	"testing"
+	"time"
+
+	"rficlayout/internal/geom"
+	"rficlayout/internal/layout"
+	"rficlayout/internal/milp"
+	"rficlayout/internal/netlist"
+	"rficlayout/internal/tech"
+)
+
+// driftedBoundaryFixture models the exact situation the boundary-coordination
+// loop produces: the strip's warm route still ends where device B used to be,
+// but B (the remote cluster) has since moved 20 µm up — farther than the
+// 10 µm confinement window lets the local cluster follow — so a fixed
+// straight topology cannot reach B's pin exactly any more.
+func driftedBoundaryFixture(t *testing.T) (*netlist.Circuit, *layout.Layout) {
+	t.Helper()
+	c := netlist.NewCircuit("drift", tech.Default90nm(), geom.FromMicrons(300), geom.FromMicrons(200))
+	a := netlist.NewDevice("A", netlist.Capacitor, geom.FromMicrons(40), geom.FromMicrons(40))
+	a.AddPin("p", geom.PtMicrons(20, 0), 0)
+	c.AddDevice(a)
+	b := netlist.NewDevice("B", netlist.Capacitor, geom.FromMicrons(40), geom.FromMicrons(40))
+	b.AddPin("p", geom.PtMicrons(-20, 0), 0)
+	c.AddDevice(b)
+	c.Connect("TL", "A", "p", "B", "p", geom.FromMicrons(160))
+
+	fixed := layout.New(c)
+	if err := fixed.Place("A", geom.PtMicrons(40, 100), geom.R0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fixed.Place("B", geom.PtMicrons(240, 120), geom.R0); err != nil {
+		t.Fatal(err)
+	}
+	// Warm route at B's pre-drift position: straight horizontal at y = 100.
+	if err := fixed.Route("TL", geom.PtMicrons(60, 100), geom.PtMicrons(220, 100)); err != nil {
+		t.Fatal(err)
+	}
+	return c, fixed
+}
+
+func shardBaseConfig(fixed *layout.Layout) Config {
+	return Config{
+		DefaultChainPoints: 2,
+		Fixed:              fixed,
+		SoftLength:         true,
+		FixTopology:        true,
+		Confinement:        geom.FromMicrons(10),
+	}
+}
+
+func TestBoundarySlackKeepsShardFeasible(t *testing.T) {
+	c, fixed := driftedBoundaryFixture(t)
+	spec := SubSpec{
+		FreeDevices:    []string{"A"},
+		FreeStrips:     []string{"TL"},
+		BoundaryStrips: []string{"TL"},
+	}
+
+	// Without the slack the shard is infeasible: the frozen horizontal
+	// topology cannot climb to B's drifted pin.
+	hard := SubConfig(shardBaseConfig(fixed), spec)
+	hard.BoundarySlack = nil
+	m, err := Build(c, hard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Solve(solveOpts(20 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != milp.StatusInfeasible {
+		t.Fatalf("hard binding status = %v, want infeasible", res.Status)
+	}
+
+	// With the slack the shard solves; the drift shows up as a residual the
+	// coordination loop can measure instead of a failed sub-solve.
+	m, err = BuildSub(c, shardBaseConfig(fixed), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, res, err := m.SolveAndExtract(solveOpts(20 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Status.HasSolution() {
+		t.Fatalf("slack binding status = %v, want a solution", res.Status)
+	}
+	if lay == nil || !lay.Complete() {
+		t.Fatal("incomplete layout extracted")
+	}
+	// The frozen remote device must not have moved.
+	if got := lay.Placed("B").Center; got != geom.PtMicrons(240, 120) {
+		t.Errorf("frozen device B moved to %v", got)
+	}
+}
+
+func TestSubConfigRestrictsFreedom(t *testing.T) {
+	base := Config{Fixed: layout.New(twoBlockCircuit(180))}
+	cfg := SubConfig(base, SubSpec{})
+	if cfg.FreeDevices == nil || cfg.FreeStrips == nil {
+		t.Error("empty spec must mean no free objects, not nil-means-all")
+	}
+	cfg = SubConfig(base, SubSpec{
+		FreeDevices:    []string{"A"},
+		FreeStrips:     []string{"TL"},
+		BoundaryStrips: []string{"TL"},
+	})
+	if !cfg.deviceFree("A") || cfg.deviceFree("B") {
+		t.Error("free-device restriction wrong")
+	}
+	if !cfg.stripFree("TL") || !cfg.boundarySlack("TL") {
+		t.Error("strip freedom / boundary slack not carried over")
+	}
+}
+
+func TestBoundarySlackValidation(t *testing.T) {
+	c := twoBlockCircuit(180)
+	fixed := fixedTwoBlockLayout(t, c)
+	if _, err := Build(c, Config{
+		FreeDevices:   []string{},
+		Fixed:         fixed,
+		BoundarySlack: []string{"ZZ"},
+	}); err == nil {
+		t.Error("unknown boundary-slack strip accepted")
+	}
+	if _, err := Build(c, Config{
+		FreeDevices:   []string{},
+		FreeStrips:    []string{},
+		Fixed:         fixed,
+		BoundarySlack: []string{"TL"},
+	}); err == nil {
+		t.Error("boundary slack on a fixed strip accepted")
+	}
+}

@@ -1,0 +1,197 @@
+// Package partition clusters the devices of a circuit by net connectivity so
+// that the phase-1 global adjustment of internal/pilp can be sharded into
+// cluster-local sub-MILPs (see ilpmodel.BuildSub). Clustering is a capped
+// union-find over the microstrip graph: strips are processed in name order
+// and merge their terminal devices while the combined cluster stays within
+// the size cap; the leftover components are then first-fit packed, again in
+// name order, so small fragments and unconnected bias blocks do not each
+// become their own shard. Every step breaks ties on device/strip names, so
+// the partition is a pure function of the circuit — the property the flow's
+// determinism contract needs.
+package partition
+
+import (
+	"sort"
+
+	"rficlayout/internal/netlist"
+)
+
+// Options tunes the clustering.
+type Options struct {
+	// MaxDevices caps the non-pad devices per cluster. Zero means 8.
+	MaxDevices int
+}
+
+func (o Options) maxDevices() int {
+	if o.MaxDevices > 0 {
+		return o.MaxDevices
+	}
+	return 8
+}
+
+// Cluster is one shard of the device graph. Pads are never cluster members:
+// phase 1 keeps them fixed, so they act as frozen anchors for every cluster.
+type Cluster struct {
+	// Devices are the non-pad devices the cluster owns, sorted by name.
+	Devices []string
+	// Strips are the microstrips the cluster owns (its sub-model frees them),
+	// sorted by name. A strip is owned by the lowest-indexed cluster among
+	// its terminal devices' clusters; strips touching only pads belong to
+	// cluster 0. Boundary is a subset of Strips.
+	Strips []string
+	// Boundary lists the owned strips whose far terminal device lies in
+	// another cluster. The owning sub-model pins that terminal to the layout
+	// snapshot and binds it through a penalized slack.
+	Boundary []string
+	// Adjacent lists the boundary strips of other clusters that terminate on
+	// one of this cluster's devices. The cluster's sub-model frees them too
+	// (with slack at the owner-side terminal) so its devices stay tethered
+	// to the shared net instead of drifting away from a frozen route — but
+	// only the owner's solved route is merged.
+	Adjacent []string
+}
+
+// Clusters partitions the circuit's non-pad devices into connectivity
+// clusters of at most opts.MaxDevices devices each and assigns every
+// microstrip to exactly one owning cluster. The result is deterministic:
+// equal circuits (up to declaration order) produce equal partitions.
+func Clusters(c *netlist.Circuit, opts Options) []Cluster {
+	cap := opts.maxDevices()
+
+	devices := make([]string, 0, len(c.Devices))
+	for _, d := range c.Devices {
+		if !d.IsPad() {
+			devices = append(devices, d.Name)
+		}
+	}
+	sort.Strings(devices)
+	if len(devices) == 0 {
+		return nil
+	}
+
+	uf := newUnionFind(devices)
+
+	// Merge along microstrips in strip-name order while the cap holds.
+	strips := append([]*netlist.Microstrip(nil), c.Microstrips...)
+	sort.Slice(strips, func(i, j int) bool { return strips[i].Name < strips[j].Name })
+	for _, ms := range strips {
+		a, aok := uf.index[ms.From.Device]
+		b, bok := uf.index[ms.To.Device]
+		if !aok || !bok {
+			continue // pad terminal: never clustered
+		}
+		uf.union(a, b, cap)
+	}
+
+	// Collect components, each sorted by name, ordered by their first device.
+	byRoot := map[int][]string{}
+	for i, name := range devices {
+		r := uf.find(i)
+		byRoot[r] = append(byRoot[r], name)
+	}
+	components := make([][]string, 0, len(byRoot))
+	for _, names := range byRoot {
+		sort.Strings(names)
+		components = append(components, names)
+	}
+	sort.Slice(components, func(i, j int) bool { return components[i][0] < components[j][0] })
+
+	// First-fit pack the components so fragments and unconnected devices
+	// share shards instead of each spawning a tiny sub-solve.
+	var packed [][]string
+	for _, comp := range components {
+		placed := false
+		for i := range packed {
+			if len(packed[i])+len(comp) <= cap {
+				packed[i] = append(packed[i], comp...)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			packed = append(packed, append([]string(nil), comp...))
+		}
+	}
+	clusters := make([]Cluster, len(packed))
+	clusterOf := map[string]int{}
+	for i, names := range packed {
+		sort.Strings(names)
+		clusters[i].Devices = names
+		for _, n := range names {
+			clusterOf[n] = i
+		}
+	}
+
+	// Strip ownership: lowest-indexed terminal cluster wins; pad-only strips
+	// fall to cluster 0. Strips spanning two clusters are boundary strips of
+	// their owner.
+	for _, ms := range strips {
+		from, fok := clusterOf[ms.From.Device]
+		to, tok := clusterOf[ms.To.Device]
+		owner := 0
+		switch {
+		case fok && tok:
+			if to < from {
+				from, to = to, from
+			}
+			owner = from
+		case fok:
+			owner = from
+		case tok:
+			owner = to
+		}
+		clusters[owner].Strips = append(clusters[owner].Strips, ms.Name)
+		if fok && tok && from != to {
+			clusters[owner].Boundary = append(clusters[owner].Boundary, ms.Name)
+			clusters[to].Adjacent = append(clusters[to].Adjacent, ms.Name)
+		}
+	}
+	return clusters
+}
+
+// unionFind is a plain union-by-size structure over an indexed name set.
+type unionFind struct {
+	parent []int
+	size   []int
+	index  map[string]int
+}
+
+func newUnionFind(names []string) *unionFind {
+	uf := &unionFind{
+		parent: make([]int, len(names)),
+		size:   make([]int, len(names)),
+		index:  make(map[string]int, len(names)),
+	}
+	for i, n := range names {
+		uf.parent[i] = i
+		uf.size[i] = 1
+		uf.index[n] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(i int) int {
+	for uf.parent[i] != i {
+		uf.parent[i] = uf.parent[uf.parent[i]]
+		i = uf.parent[i]
+	}
+	return i
+}
+
+// union merges the components of a and b unless the merged size would exceed
+// cap. The smaller-index root wins so the outcome never depends on argument
+// order.
+func (uf *unionFind) union(a, b, cap int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra]+uf.size[rb] > cap {
+		return
+	}
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+}

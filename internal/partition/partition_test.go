@@ -1,0 +1,187 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"rficlayout/internal/geom"
+	"rficlayout/internal/netlist"
+	"rficlayout/internal/tech"
+)
+
+// chainCircuit builds PIN → M1 → … → Mn → POUT with one stub capacitor per
+// even-numbered transistor.
+func chainCircuit(t *testing.T, n int) *netlist.Circuit {
+	t.Helper()
+	c := netlist.NewCircuit("chain", tech.Default90nm(), geom.FromMicrons(900), geom.FromMicrons(700))
+	c.AddDevice(netlist.NewPad("PIN", c.Tech.PadSize))
+	c.AddDevice(netlist.NewPad("POUT", c.Tech.PadSize))
+	prev, prevPin := "PIN", "p"
+	strip := 0
+	for i := 1; i <= n; i++ {
+		name := deviceName("M", i)
+		d := netlist.NewDevice(name, netlist.Transistor, geom.FromMicrons(40), geom.FromMicrons(30))
+		d.AddPin("in", geom.PtMicrons(-20, 0), 0)
+		d.AddPin("out", geom.PtMicrons(20, 0), 0)
+		c.AddDevice(d)
+		strip++
+		c.Connect(deviceName("TL", strip), prev, prevPin, name, "in", geom.FromMicrons(120))
+		prev, prevPin = name, "out"
+		if i%2 == 0 {
+			cap := deviceName("C", i)
+			cd := netlist.NewDevice(cap, netlist.Capacitor, geom.FromMicrons(30), geom.FromMicrons(25))
+			cd.AddPin("p", geom.PtMicrons(0, -12), 0)
+			c.AddDevice(cd)
+			strip++
+			c.Connect(deviceName("TS", strip), name, "out", cap, "p", geom.FromMicrons(80))
+		}
+	}
+	strip++
+	c.Connect(deviceName("TL", strip), prev, prevPin, "POUT", "p", geom.FromMicrons(120))
+	return c
+}
+
+func deviceName(prefix string, i int) string {
+	// Zero-padded so lexicographic order matches numeric order in tests.
+	const digits = "0123456789"
+	return prefix + string([]byte{digits[i/10%10], digits[i%10]})
+}
+
+func TestClustersRespectCapAndCoverEveryDevice(t *testing.T) {
+	c := chainCircuit(t, 12) // 12 transistors + 6 caps = 18 non-pad devices
+	clusters := Clusters(c, Options{MaxDevices: 5})
+	if len(clusters) < 4 {
+		t.Fatalf("got %d clusters, want >= 4", len(clusters))
+	}
+	seen := map[string]int{}
+	for i, cl := range clusters {
+		if len(cl.Devices) == 0 {
+			t.Errorf("cluster %d is empty", i)
+		}
+		if len(cl.Devices) > 5 {
+			t.Errorf("cluster %d has %d devices, cap is 5", i, len(cl.Devices))
+		}
+		for _, d := range cl.Devices {
+			if prev, dup := seen[d]; dup {
+				t.Errorf("device %s in clusters %d and %d", d, prev, i)
+			}
+			seen[d] = i
+		}
+	}
+	for _, d := range c.NonPadDevices() {
+		if _, ok := seen[d.Name]; !ok {
+			t.Errorf("device %s not clustered", d.Name)
+		}
+	}
+	for _, d := range c.Pads() {
+		if _, ok := seen[d.Name]; ok {
+			t.Errorf("pad %s must not be clustered", d.Name)
+		}
+	}
+}
+
+func TestEveryStripOwnedExactlyOnce(t *testing.T) {
+	c := chainCircuit(t, 12)
+	clusters := Clusters(c, Options{MaxDevices: 5})
+	owner := map[string]int{}
+	for i, cl := range clusters {
+		inBoundary := map[string]bool{}
+		for _, s := range cl.Boundary {
+			inBoundary[s] = true
+		}
+		owned := map[string]bool{}
+		for _, s := range cl.Strips {
+			if prev, dup := owner[s]; dup {
+				t.Errorf("strip %s owned by clusters %d and %d", s, prev, i)
+			}
+			owner[s] = i
+			owned[s] = true
+		}
+		for _, s := range cl.Boundary {
+			if !owned[s] {
+				t.Errorf("boundary strip %s of cluster %d not in its Strips", s, i)
+			}
+		}
+		_ = inBoundary
+	}
+	for _, ms := range c.Microstrips {
+		if _, ok := owner[ms.Name]; !ok {
+			t.Errorf("strip %s unowned", ms.Name)
+		}
+	}
+}
+
+func TestBoundaryStripsSpanClusters(t *testing.T) {
+	c := chainCircuit(t, 12)
+	clusters := Clusters(c, Options{MaxDevices: 5})
+	clusterOf := map[string]int{}
+	for i, cl := range clusters {
+		for _, d := range cl.Devices {
+			clusterOf[d] = i
+		}
+	}
+	boundary := map[string]bool{}
+	total := 0
+	for _, cl := range clusters {
+		for _, s := range cl.Boundary {
+			boundary[s] = true
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("a 12-stage chain split into >=4 clusters must have boundary strips")
+	}
+	for _, ms := range c.Microstrips {
+		fc, fok := clusterOf[ms.From.Device]
+		tc, tok := clusterOf[ms.To.Device]
+		spans := fok && tok && fc != tc
+		if spans != boundary[ms.Name] {
+			t.Errorf("strip %s: spans-clusters=%v but boundary=%v", ms.Name, spans, boundary[ms.Name])
+		}
+	}
+}
+
+// TestClustersDeterministicUnderDeclarationOrder reorders the circuit's
+// slices and requires the identical partition — the property the flow's
+// determinism (and the result cache) builds on.
+func TestClustersDeterministicUnderDeclarationOrder(t *testing.T) {
+	a := chainCircuit(t, 12)
+	b := chainCircuit(t, 12)
+	// Reverse declaration order in b.
+	for i, j := 0, len(b.Devices)-1; i < j; i, j = i+1, j-1 {
+		b.Devices[i], b.Devices[j] = b.Devices[j], b.Devices[i]
+	}
+	for i, j := 0, len(b.Microstrips)-1; i < j; i, j = i+1, j-1 {
+		b.Microstrips[i], b.Microstrips[j] = b.Microstrips[j], b.Microstrips[i]
+	}
+	ca := Clusters(a, Options{MaxDevices: 5})
+	cb := Clusters(b, Options{MaxDevices: 5})
+	if !reflect.DeepEqual(ca, cb) {
+		t.Errorf("partition depends on declaration order:\n%v\nvs\n%v", ca, cb)
+	}
+}
+
+func TestUnconnectedDevicesPackTogether(t *testing.T) {
+	c := netlist.NewCircuit("loose", tech.Default90nm(), geom.FromMicrons(600), geom.FromMicrons(600))
+	for i := 1; i <= 6; i++ {
+		d := netlist.NewDevice(deviceName("B", i), netlist.Capacitor, geom.FromMicrons(30), geom.FromMicrons(25))
+		d.AddPin("p", geom.PtMicrons(0, -12), 0)
+		c.AddDevice(d)
+	}
+	clusters := Clusters(c, Options{MaxDevices: 4})
+	if len(clusters) != 2 {
+		t.Fatalf("6 singletons under cap 4 should pack into 2 clusters, got %d", len(clusters))
+	}
+	if len(clusters[0].Devices) != 4 || len(clusters[1].Devices) != 2 {
+		t.Errorf("first-fit packing gave sizes %d/%d, want 4/2",
+			len(clusters[0].Devices), len(clusters[1].Devices))
+	}
+}
+
+func TestNoDevicesNoClusters(t *testing.T) {
+	c := netlist.NewCircuit("pads", tech.Default90nm(), geom.FromMicrons(300), geom.FromMicrons(300))
+	c.AddDevice(netlist.NewPad("PIN", c.Tech.PadSize))
+	if got := Clusters(c, Options{}); got != nil {
+		t.Errorf("pad-only circuit clustered: %v", got)
+	}
+}

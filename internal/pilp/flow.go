@@ -44,6 +44,26 @@ type Options struct {
 	MaxRefineIterations int
 	// TryRotations enables device-rotation exploration in phase 3.
 	TryRotations bool
+	// ShardSize, when positive, shards the phase-1 global adjustment: the
+	// devices are clustered by net connectivity into groups of at most
+	// ShardSize (internal/partition), each cluster solves a local sub-MILP
+	// with frozen boundary terminals concurrently, and a bounded
+	// coordination loop re-solves shards whose boundaries drifted. Circuits
+	// that do not split into at least two clusters keep the monolithic
+	// solve, as does the zero default. ShardSize changes the phase-1 model,
+	// so it is part of the Fingerprint; like every other option it never
+	// breaks the determinism contract (worker counts still cannot change
+	// results).
+	ShardSize int
+	// ShardIterations bounds the boundary-coordination loop of the sharded
+	// phase 1. More rounds close more of the quality gap to the monolithic
+	// solve at a small multiple of the (much cheaper) sharded round cost.
+	// Zero means 5.
+	ShardIterations int
+	// ShardBoundaryTol is the residual (Manhattan distance between a
+	// boundary-strip endpoint and its pin) above which the owning shard is
+	// re-solved in the next coordination round. Zero means 2 µm.
+	ShardBoundaryTol geom.Coord
 	// Logf, when non-nil, receives progress messages. With Workers > 1 it may
 	// be called from concurrent solver goroutines and must be safe for that
 	// (testing.T.Logf and log.Printf both are).
@@ -105,6 +125,20 @@ func (o Options) refineIterations() int {
 	return 3
 }
 
+func (o Options) shardIterations() int {
+	if o.ShardIterations > 0 {
+		return o.ShardIterations
+	}
+	return 5
+}
+
+func (o Options) shardBoundaryTol() geom.Coord {
+	if o.ShardBoundaryTol > 0 {
+		return o.ShardBoundaryTol
+	}
+	return geom.FromMicrons(2)
+}
+
 func (o Options) workers() int {
 	if o.Workers > 0 {
 		return o.Workers
@@ -136,9 +170,10 @@ func (o Options) countNodes(n int) {
 // included because a binding limit changes the result. The result cache
 // hashes this string alongside the canonical circuit text.
 func (o Options) Fingerprint() string {
-	return fmt.Sprintf("chain=%d maxchain=%d conf=%d pair=%d striplimit=%s phaselimit=%s refine=%d rot=%v",
+	return fmt.Sprintf("chain=%d maxchain=%d conf=%d pair=%d striplimit=%s phaselimit=%s refine=%d rot=%v shard=%d sharditer=%d shardtol=%d",
 		o.chainPoints(), o.maxChainPoints(), o.confinement(), o.pairRadius(),
-		o.stripTimeLimit(), o.phaseTimeLimit(), o.refineIterations(), o.TryRotations)
+		o.stripTimeLimit(), o.phaseTimeLimit(), o.refineIterations(), o.TryRotations,
+		o.ShardSize, o.shardIterations(), o.shardBoundaryTol())
 }
 
 // runJobs dispatches independent subproblems to the shared bounded pool:
@@ -168,6 +203,10 @@ type Result struct {
 	// every MILP solve of the flow — the solver-effort counterpart to the
 	// wall-clock Runtime.
 	Nodes int
+	// Shards reports the per-cluster sub-solves of the sharded phase-1
+	// adjustment, in cluster order. Nil when phase 1 ran monolithically
+	// (ShardSize zero or the circuit below the shard threshold).
+	Shards []ShardStat
 }
 
 // Violations returns the design-rule violations of the final layout.
@@ -181,13 +220,23 @@ func checkLayout(l *layout.Layout) []layout.Violation {
 	return l.Check(layout.CheckOptions{PinTolerance: 2})
 }
 
-// score ranks layouts during the flow: design-rule violations dominate, then
-// total bends, then accumulated length error.
-func score(l *layout.Layout) float64 {
-	vs := checkLayout(l)
+// Score ranks layouts the way the flow does internally: design-rule
+// violations dominate, then total bends, then accumulated length error.
+// Lower is better. Exposed so harnesses (rficbench's sharding guard) can
+// compare layouts produced under different options on the flow's own metric.
+func Score(l *layout.Layout) float64 {
+	return scoreWith(l, checkLayout(l))
+}
+
+// scoreWith is Score with the DRC pass already done — callers that also
+// need the violation list (the shard coordination loop) avoid a second
+// quadratic layout check this way.
+func scoreWith(l *layout.Layout, vs []layout.Violation) float64 {
 	m := l.Metrics()
 	return 1e6*float64(len(vs)) + 100*float64(m.TotalBends) + geom.Microns(m.TotalLengthError)
 }
+
+func score(l *layout.Layout) float64 { return Score(l) }
 
 // Generate runs the full progressive flow on the circuit. It is shorthand
 // for GenerateCtx with a background context.
@@ -232,8 +281,11 @@ func GenerateCtx(ctx context.Context, c *netlist.Circuit, opts Options) (*Result
 	opts.logf("pilp: constructed initial layout: %s", current.Metrics())
 
 	// Phase 1b: global coordinate adjustment — soft lengths, penalized
-	// overlap, relative positions kept, topology fixed (Eq. 23–28).
-	adjusted, err := globalAdjust(ctx, c, current, opts)
+	// overlap, relative positions kept, topology fixed (Eq. 23–28). With
+	// ShardSize set and a large enough circuit the solve is sharded into
+	// cluster-local sub-MILPs under a boundary-coordination loop.
+	adjusted, shards, err := adjustGlobal(ctx, c, current, opts)
+	res.Shards = shards
 	if err != nil {
 		opts.logf("pilp: global adjustment failed: %v", err)
 	} else if adjusted != nil && score(adjusted) <= score(current) {
@@ -286,29 +338,15 @@ func (r *Result) addSnapshot(phase string, l *layout.Layout, elapsed time.Durati
 // boundary choice (pads stay fixed here). Being the one large solve of the
 // flow, it gets the full worker pool for its branch-and-bound LP evaluations.
 func globalAdjust(ctx context.Context, c *netlist.Circuit, current *layout.Layout, opts Options) (*layout.Layout, error) {
+	cfg, err := phase1Config(c, current, opts)
+	if err != nil {
+		return nil, err
+	}
 	freeDevices := []string{}
 	for _, d := range c.NonPadDevices() {
 		freeDevices = append(freeDevices, d.Name)
 	}
-	chainPoints := map[string]int{}
-	for _, ms := range c.Microstrips {
-		rs := current.Routed(ms.Name)
-		if rs == nil {
-			return nil, fmt.Errorf("pilp: strip %q missing from constructed layout", ms.Name)
-		}
-		chainPoints[ms.Name] = len(rs.Path.Points)
-	}
-	cfg := ilpmodel.Config{
-		ChainPoints:       chainPoints,
-		FreeDevices:       freeDevices,
-		Fixed:             current,
-		SoftLength:        true,
-		OverlapSlack:      true,
-		FixTopology:       true,
-		RelativePositions: true,
-		Confinement:       3 * opts.confinement(),
-		PairRadius:        opts.pairRadius(),
-	}
+	cfg.FreeDevices = freeDevices
 	m, err := ilpmodel.Build(c, cfg)
 	if err != nil {
 		return nil, err
@@ -328,6 +366,32 @@ func globalAdjust(ctx context.Context, c *netlist.Circuit, current *layout.Layou
 		return nil, fmt.Errorf("pilp: global adjustment found no solution (status %v)", result.Status)
 	}
 	return lay, nil
+}
+
+// phase1Config builds the shared phase-1 model configuration: soft lengths,
+// penalized overlap, frozen topology and relative positions from the
+// constructed layout, generous confinement. The caller sets the freedom
+// (FreeDevices/FreeStrips) — the monolithic solve frees every non-pad
+// device, the sharded solve restricts it per cluster.
+func phase1Config(c *netlist.Circuit, current *layout.Layout, opts Options) (ilpmodel.Config, error) {
+	chainPoints := map[string]int{}
+	for _, ms := range c.Microstrips {
+		rs := current.Routed(ms.Name)
+		if rs == nil {
+			return ilpmodel.Config{}, fmt.Errorf("pilp: strip %q missing from constructed layout", ms.Name)
+		}
+		chainPoints[ms.Name] = len(rs.Path.Points)
+	}
+	return ilpmodel.Config{
+		ChainPoints:       chainPoints,
+		Fixed:             current,
+		SoftLength:        true,
+		OverlapSlack:      true,
+		FixTopology:       true,
+		RelativePositions: true,
+		Confinement:       3 * opts.confinement(),
+		PairRadius:        opts.pairRadius(),
+	}, nil
 }
 
 // exactLengthPass drives every microstrip to its exact equivalent length with
@@ -384,25 +448,44 @@ func exactLengthPass(ctx context.Context, c *netlist.Circuit, current *layout.La
 // changes are merged into the possibly further-evolved current layout.
 func applyCandidate(base, candidate *layout.Layout, strips, devices []string) (*layout.Layout, bool) {
 	out := base.Clone()
+	if !applyInto(out, candidate, strips, devices) {
+		return nil, false
+	}
+	return out, true
+}
+
+// applyInto grafts the listed objects from a solved candidate into dst,
+// mutating it. The shard merge uses it directly so one round clones the
+// layout once instead of once per cluster; applyCandidate wraps it for the
+// callers that need base kept intact. Objects missing from the candidate
+// fail the graft before dst is touched; a Place/Route error mid-graft
+// returns false with dst partially updated — callers needing all-or-nothing
+// wrap it (applyCandidate) or roll the objects back from a known-good
+// layout (the shard merge).
+func applyInto(dst, candidate *layout.Layout, strips, devices []string) bool {
+	for _, name := range devices {
+		if candidate.Placed(name) == nil {
+			return false
+		}
+	}
+	for _, name := range strips {
+		if candidate.Routed(name) == nil {
+			return false
+		}
+	}
 	for _, name := range devices {
 		pd := candidate.Placed(name)
-		if pd == nil {
-			return nil, false
-		}
-		if err := out.Place(name, pd.Center, pd.Orient); err != nil {
-			return nil, false
+		if err := dst.Place(name, pd.Center, pd.Orient); err != nil {
+			return false
 		}
 	}
 	for _, name := range strips {
 		rs := candidate.Routed(name)
-		if rs == nil {
-			return nil, false
-		}
-		if err := out.Route(name, rs.Path.Points...); err != nil {
-			return nil, false
+		if err := dst.Route(name, rs.Path.Points...); err != nil {
+			return false
 		}
 	}
-	return out, true
+	return true
 }
 
 // solveStripToTarget re-solves a single strip (growing its chain points when

@@ -1,0 +1,320 @@
+package pilp
+
+import (
+	"context"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"rficlayout/internal/geom"
+	"rficlayout/internal/ilpmodel"
+	"rficlayout/internal/layout"
+	"rficlayout/internal/milp"
+	"rficlayout/internal/netlist"
+	"rficlayout/internal/partition"
+)
+
+// ShardStat describes one cluster of the sharded phase-1 adjustment: its
+// size, how many coordination rounds re-solved it, and the solver effort it
+// consumed. Runtime is wall-clock and therefore scheduling-dependent; every
+// other field is deterministic.
+type ShardStat struct {
+	// Cluster is the cluster index (partition order).
+	Cluster int
+	// Devices and Strips are the cluster's owned object counts; Boundary is
+	// how many of the strips cross into another cluster.
+	Devices  int
+	Strips   int
+	Boundary int
+	// Rounds is how many coordination rounds solved this shard (at least 1
+	// unless the flow was cancelled first).
+	Rounds int
+	// Nodes is the branch-and-bound node total across the shard's solves.
+	Nodes int
+	// Runtime is the accumulated wall-clock time of the shard's solves.
+	Runtime time.Duration
+}
+
+// Phase1Result is the outcome of AdjustPhase1.
+type Phase1Result struct {
+	Layout *layout.Layout
+	// Shards holds the per-cluster sub-solve stats, nil when the adjustment
+	// ran monolithically.
+	Shards []ShardStat
+	// Nodes is the branch-and-bound node total across the phase's solves.
+	Nodes   int
+	Runtime time.Duration
+}
+
+// AdjustPhase1 runs only phase 1 of the flow — constructive placement plus
+// the global coordinate adjustment. It is the benchmarking entry point for
+// the sharded-adjustment subsystem (rficbench -shardguard isolates phase 1
+// with it); GenerateCtx remains the full three-phase flow. Like GenerateCtx
+// it applies the score gate: an adjustment that does not improve on the
+// constructed layout is discarded.
+func AdjustPhase1(ctx context.Context, c *netlist.Circuit, opts Options) (*Phase1Result, error) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c = netlist.Normalized(c)
+	opts.nodes = new(atomic.Int64)
+	current, err := Construct(c)
+	if err != nil {
+		return nil, err
+	}
+	adjusted, shards, err := adjustGlobal(ctx, c, current, opts)
+	if err != nil {
+		return nil, err
+	}
+	if adjusted != nil && score(adjusted) <= score(current) {
+		current = adjusted
+	}
+	return &Phase1Result{
+		Layout:  current,
+		Shards:  shards,
+		Nodes:   int(opts.nodes.Load()),
+		Runtime: time.Since(start),
+	}, nil
+}
+
+// adjustGlobal dispatches phase 1b: the sharded pipeline when ShardSize is
+// set and the circuit splits into at least two clusters, the monolithic
+// solve otherwise (and as fallback when sharding fails outright).
+func adjustGlobal(ctx context.Context, c *netlist.Circuit, current *layout.Layout, opts Options) (*layout.Layout, []ShardStat, error) {
+	if opts.ShardSize > 0 {
+		clusters := partition.Clusters(c, partition.Options{MaxDevices: opts.ShardSize})
+		if len(clusters) >= 2 {
+			lay, stats, err := shardedAdjust(ctx, c, current, clusters, opts)
+			if err == nil {
+				return lay, stats, nil
+			}
+			if ctx.Err() != nil {
+				// Cancelled mid-shard: building the monolithic model under a
+				// dead context would only delay the cancellation.
+				return nil, stats, err
+			}
+			opts.logf("pilp: sharded adjustment failed (%v), falling back to the monolithic solve", err)
+		} else {
+			opts.logf("pilp: circuit below the shard threshold (%d cluster(s) at size %d), solving monolithically",
+				len(clusters), opts.ShardSize)
+		}
+	}
+	lay, err := globalAdjust(ctx, c, current, opts)
+	return lay, nil, err
+}
+
+// shardedAdjust runs the clustered phase-1 pipeline: every cluster solves a
+// local sub-MILP against a frozen snapshot of the layout (remote boundary
+// terminals pinned to the snapshot with penalized slack), the results merge
+// in cluster order, and shards whose boundary strips ended farther than the
+// tolerance from their pins are re-solved against the merged snapshot —
+// bounded by ShardIterations rounds. The best-scoring merged layout across
+// rounds is returned.
+//
+// Determinism: sub-solves run concurrently but each starts from the same
+// frozen snapshot and runs its branch-and-bound single-worker; the merge
+// order, the residual measurement and the re-solve set are all functions of
+// the merged layout alone, so the result is byte-identical for every worker
+// count (the contract GenerateCtx documents).
+func shardedAdjust(ctx context.Context, c *netlist.Circuit, current *layout.Layout, clusters []partition.Cluster, opts Options) (*layout.Layout, []ShardStat, error) {
+	base, err := phase1Config(c, current, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	stats := make([]ShardStat, len(clusters))
+	objectCluster := map[string]int{} // device name or owned strip name → cluster
+	boundary := map[string]bool{}
+	for i, cl := range clusters {
+		stats[i] = ShardStat{
+			Cluster:  i,
+			Devices:  len(cl.Devices),
+			Strips:   len(cl.Strips),
+			Boundary: len(cl.Boundary),
+		}
+		for _, d := range cl.Devices {
+			objectCluster[d] = i
+		}
+		for _, s := range cl.Strips {
+			objectCluster[s] = i
+		}
+		for _, s := range cl.Boundary {
+			boundary[s] = true
+		}
+	}
+
+	snapshot := current
+	best := current
+	bestScore := score(current)
+	pending := make([]int, len(clusters))
+	for i := range clusters {
+		pending[i] = i
+	}
+
+	for round := 0; round < opts.shardIterations() && len(pending) > 0; round++ {
+		if ctx.Err() != nil {
+			break
+		}
+		frozen := snapshot
+		results := make([]*layout.Layout, len(clusters))
+		runJobs(ctx, opts.workers(), len(pending), func(k int) {
+			ci := pending[k]
+			results[ci] = solveShard(ctx, c, frozen, base, clusters[ci], opts, &stats[ci])
+		})
+
+		// One clone per round: every successful shard grafts its owned
+		// objects into the same copy (disjoint ownership makes the grafts
+		// independent; a failed shard keeps its snapshot geometry). A graft
+		// that fails midway is rolled back from the frozen snapshot — those
+		// placements and routes grafted successfully once, so the rollback
+		// cannot fail — keeping the cluster all-or-nothing.
+		merged := frozen.Clone()
+		for _, ci := range pending {
+			if results[ci] == nil {
+				continue
+			}
+			if !applyInto(merged, results[ci], clusters[ci].Strips, clusters[ci].Devices) {
+				applyInto(merged, frozen, clusters[ci].Strips, clusters[ci].Devices)
+			}
+		}
+		snapshot = merged
+		// One DRC pass feeds the score, the drift detection and the log line
+		// — layout.Check is quadratic in the circuit, so per round it runs
+		// exactly once.
+		violations := checkLayout(merged)
+		s := scoreWith(merged, violations)
+		if s <= bestScore {
+			best, bestScore = merged, s
+		}
+		pending = driftedShards(c, merged, violations, objectCluster, boundary, opts.shardBoundaryTol())
+		opts.logf("pilp: shard round %d merged (score %.1f), %d shard(s) drifted", round+1, s, len(pending))
+	}
+	// Residual boundary drift after the final round (pin-mismatch on an
+	// inter-cluster strip) is left for phase 2: its per-strip escalation
+	// frees topology and devices, which is what an off-axis drift needs —
+	// re-solving it here with frozen topology cannot converge, and a free
+	// topology single-strip search costs more than the whole sharded phase.
+	if err := ctx.Err(); err != nil && best == current {
+		return nil, stats, err
+	}
+	return best, stats, nil
+}
+
+// solveShard builds and solves one cluster-local sub-MILP against the frozen
+// snapshot. The sub-models are small, so each branch-and-bound runs
+// single-worker — the shard fan-out in shardedAdjust owns the parallelism
+// dimension, mirroring how the per-strip pass treats its subproblems.
+func solveShard(ctx context.Context, c *netlist.Circuit, frozen *layout.Layout, base ilpmodel.Config, cl partition.Cluster, opts Options, stat *ShardStat) *layout.Layout {
+	start := time.Now()
+	defer func() {
+		stat.Rounds++
+		stat.Runtime += time.Since(start)
+	}()
+	base.Fixed = frozen
+	// The sub-model frees the cluster's own strips plus the boundary strips
+	// other clusters own that end on this cluster's devices: those tether
+	// the devices to the shared nets (soft length, slack at the owner-side
+	// terminal). Only the owned routes are merged back.
+	freeStrips := append(append([]string(nil), cl.Strips...), cl.Adjacent...)
+	sort.Strings(freeStrips)
+	slackStrips := append(append([]string(nil), cl.Boundary...), cl.Adjacent...)
+	sort.Strings(slackStrips)
+	m, err := ilpmodel.BuildSub(c, base, ilpmodel.SubSpec{
+		FreeDevices:    cl.Devices,
+		FreeStrips:     freeStrips,
+		BoundaryStrips: slackStrips,
+	})
+	if err != nil {
+		opts.logf("pilp: shard %d model build failed: %v", stat.Cluster, err)
+		return nil
+	}
+	lay, result, err := m.SolveAndExtractCtx(ctx, milp.SolveOptions{
+		TimeLimit: opts.phaseTimeLimit(),
+		Workers:   1,
+	})
+	if result != nil {
+		stat.Nodes += result.Nodes
+		opts.countNodes(result.Nodes)
+	}
+	if err != nil || lay == nil {
+		opts.logf("pilp: shard %d found no solution: %v", stat.Cluster, err)
+		return nil
+	}
+	return lay
+}
+
+// driftedShards decides which clusters the next coordination round must
+// re-solve against the merged snapshot. Two signals, both deterministic
+// functions of the merged layout:
+//
+//   - boundary residual: an inter-cluster strip whose route endpoint sits
+//     farther than the tolerance from its pin marks both adjacent clusters
+//     (the owner re-routes toward the moved pin, the remote side may move
+//     its device back);
+//   - cross-cluster violations: a design-rule violation between objects of
+//     two different clusters marks both — independent shard moves can
+//     collide in ways neither sub-model could see.
+func driftedShards(c *netlist.Circuit, merged *layout.Layout, violations []layout.Violation, objectCluster map[string]int, boundary map[string]bool, tol geom.Coord) []int {
+	drifted := map[int]bool{}
+	markStrip := func(ms *netlist.Microstrip) {
+		for _, term := range []netlist.Terminal{ms.From, ms.To} {
+			if ci, ok := objectCluster[term.Device]; ok {
+				drifted[ci] = true
+			}
+		}
+	}
+	for _, ms := range c.Microstrips {
+		if !boundary[ms.Name] {
+			continue
+		}
+		if boundaryResidual(merged, ms) > tol {
+			markStrip(ms)
+		}
+	}
+	for _, v := range violations {
+		if v.Other == "" {
+			continue
+		}
+		a, aok := objectCluster[v.Subject]
+		b, bok := objectCluster[v.Other]
+		if aok && bok && a != b {
+			drifted[a] = true
+			drifted[b] = true
+		}
+	}
+	out := make([]int, 0, len(drifted))
+	for ci := range drifted {
+		out = append(out, ci)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// boundaryResidual returns the larger pin-to-endpoint Manhattan distance of
+// the strip's two terminals in the layout (zero when the strip or a device
+// is absent — nothing to coordinate then).
+func boundaryResidual(l *layout.Layout, ms *netlist.Microstrip) geom.Coord {
+	rs := l.Routed(ms.Name)
+	if rs == nil || len(rs.Path.Points) == 0 {
+		return 0
+	}
+	var worst geom.Coord
+	ends := [2]struct {
+		term netlist.Terminal
+		pt   geom.Point
+	}{
+		{ms.From, rs.Path.Points[0]},
+		{ms.To, rs.Path.Points[len(rs.Path.Points)-1]},
+	}
+	for _, e := range ends {
+		pin, err := l.PinPosition(e.term)
+		if err != nil {
+			continue
+		}
+		if d := e.pt.ManhattanTo(pin); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,195 @@
+package pilp
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rficlayout/internal/circuits"
+	"rficlayout/internal/geom"
+	"rficlayout/internal/layout"
+	"rficlayout/internal/netlist"
+	"rficlayout/internal/partition"
+	"rficlayout/internal/tech"
+)
+
+// largeConstructed builds the synthetic large benchmark circuit and its
+// constructed (phase-1a) layout, the input of the global adjustment.
+func largeConstructed(t *testing.T) (*netlist.Circuit, *layout.Layout) {
+	t.Helper()
+	c := netlist.Normalized(circuits.Build(circuits.LargeSpec(1)))
+	l, err := Construct(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, l
+}
+
+// TestShardedAdjustDeterministicAcrossWorkers is the shard-level determinism
+// guard: the sharded phase 1 must produce byte-identical layouts for every
+// worker count, exactly like the rest of the flow.
+func TestShardedAdjustDeterministicAcrossWorkers(t *testing.T) {
+	c, constructed := largeConstructed(t)
+	clusters := partition.Clusters(c, partition.Options{MaxDevices: 5})
+	if len(clusters) < 4 {
+		t.Fatalf("large circuit split into %d clusters, want >= 4", len(clusters))
+	}
+
+	var layouts [2]string
+	var stats [2][]ShardStat
+	for i, workers := range []int{1, 4} {
+		opts := Options{
+			ShardSize:      5,
+			Workers:        workers,
+			PhaseTimeLimit: 2 * time.Minute, // generous: a binding limit voids determinism
+		}
+		lay, st, err := shardedAdjust(context.Background(), c, constructed, clusters, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		layouts[i] = layout.Format(lay)
+		stats[i] = st
+	}
+	if layouts[0] != layouts[1] {
+		t.Error("sharded phase 1 differs between 1 and 4 workers")
+	}
+	if len(stats[0]) != len(clusters) {
+		t.Fatalf("got %d shard stats, want %d", len(stats[0]), len(clusters))
+	}
+	stripsOwned, boundaries := 0, 0
+	for i, st := range stats[0] {
+		// Unconnected bias devices pack into strip-less clusters, so only
+		// Devices is guaranteed per shard; strip ownership is checked in
+		// aggregate below.
+		if st.Cluster != i || st.Devices == 0 {
+			t.Errorf("shard stat %d malformed: %+v", i, st)
+		}
+		if st.Rounds < 1 {
+			t.Errorf("shard %d never solved: %+v", i, st)
+		}
+		stripsOwned += st.Strips
+		boundaries += st.Boundary
+		// Node counts are deterministic (Runtime is not) — they must agree
+		// across worker counts.
+		if st.Nodes != stats[1][i].Nodes || st.Rounds != stats[1][i].Rounds {
+			t.Errorf("shard %d effort differs across workers: %+v vs %+v", i, st, stats[1][i])
+		}
+	}
+	if stripsOwned != len(c.Microstrips) {
+		t.Errorf("shards own %d strips, circuit has %d", stripsOwned, len(c.Microstrips))
+	}
+	if boundaries == 0 {
+		t.Error("no boundary strips across >= 4 clusters of a connected chain")
+	}
+}
+
+// TestShardedAdjustImprovesOrKeepsScore checks the coordination loop never
+// returns something worse than its input — the same acceptance contract the
+// monolithic solve has through GenerateCtx's score gate.
+func TestShardedAdjustImprovesOrKeepsScore(t *testing.T) {
+	c, constructed := largeConstructed(t)
+	clusters := partition.Clusters(c, partition.Options{MaxDevices: 5})
+	opts := Options{ShardSize: 5, PhaseTimeLimit: 2 * time.Minute}
+	lay, _, err := shardedAdjust(context.Background(), c, constructed, clusters, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score(lay) > score(constructed) {
+		t.Errorf("sharded adjustment worsened the score: %.1f -> %.1f", score(constructed), score(lay))
+	}
+}
+
+// TestAdjustGlobalFallsBackToMonolithic locks in the dispatch rules: no
+// sharding without ShardSize, and no sharding when the circuit does not
+// split into at least two clusters.
+func TestAdjustGlobalFallsBackToMonolithic(t *testing.T) {
+	c := netlist.Normalized(cascadeCircuit())
+	constructed, err := Construct(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ShardSize zero: monolithic, no shard stats.
+	opts := fastOptions()
+	lay, stats, err := adjustGlobal(context.Background(), c, constructed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay == nil || stats != nil {
+		t.Errorf("monolithic path returned stats %v", stats)
+	}
+
+	// ShardSize larger than the device count: one cluster, still monolithic.
+	opts.ShardSize = 16
+	lay2, stats, err := adjustGlobal(context.Background(), c, constructed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != nil {
+		t.Errorf("single-cluster circuit sharded: %v", stats)
+	}
+	if layout.Format(lay) != layout.Format(lay2) {
+		t.Error("fallback layout differs from the plain monolithic solve")
+	}
+}
+
+// TestGenerateWithShardingEndToEnd runs the full three-phase flow with
+// sharding enabled on a mid-size chain and checks the shard stats surface in
+// the Result while the layout still completes.
+func TestGenerateWithShardingEndToEnd(t *testing.T) {
+	c := shardableChain()
+	opts := fastOptions()
+	opts.ShardSize = 3
+	// Reduced budgets always: this test pins the shard-stats plumbing and
+	// layout completeness, not solution quality (TestGenerateCascade covers
+	// that for the flow at large).
+	opts.ChainPoints = 3
+	opts.MaxChainPoints = 3
+	opts.MaxRefineIterations = 1
+	opts.StripTimeLimit = 500 * time.Millisecond
+	res, err := Generate(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Layout == nil || !res.Layout.Complete() {
+		t.Fatal("sharded flow produced an incomplete layout")
+	}
+	if len(res.Shards) < 2 {
+		t.Fatalf("Result.Shards = %v, want >= 2 shards", res.Shards)
+	}
+	nodes := 0
+	for _, st := range res.Shards {
+		nodes += st.Nodes
+	}
+	if res.Nodes < nodes {
+		t.Errorf("flow nodes %d below shard total %d", res.Nodes, nodes)
+	}
+}
+
+// shardableChain is a 6-transistor chain with two stubs: 8 non-pad devices,
+// enough to split at ShardSize 3 while staying fast to solve end to end.
+func shardableChain() *netlist.Circuit {
+	c := netlist.NewCircuit("shardchain", tech.Default90nm(),
+		geom.FromMicrons(900), geom.FromMicrons(420))
+	c.AddDevice(netlist.NewPad("PIN", c.Tech.PadSize))
+	c.AddDevice(netlist.NewPad("POUT", c.Tech.PadSize))
+	prev, prevPin := "PIN", "p"
+	for i := 1; i <= 6; i++ {
+		name := "M" + string(rune('0'+i))
+		d := netlist.NewDevice(name, netlist.Transistor, geom.FromMicrons(40), geom.FromMicrons(30))
+		d.AddPin("in", geom.PtMicrons(-20, 0), 0)
+		d.AddPin("out", geom.PtMicrons(20, 0), 0)
+		c.AddDevice(d)
+		c.Connect("TL"+string(rune('0'+i)), prev, prevPin, name, "in", geom.FromMicrons(120))
+		prev, prevPin = name, "out"
+	}
+	c.Connect("TL7", prev, prevPin, "POUT", "p", geom.FromMicrons(120))
+	for i, anchor := range []string{"M2", "M5"} {
+		name := "C" + string(rune('1'+i))
+		d := netlist.NewDevice(name, netlist.Capacitor, geom.FromMicrons(40), geom.FromMicrons(30))
+		d.AddPin("p", geom.PtMicrons(0, -15), 0)
+		c.AddDevice(d)
+		c.Connect("TS"+string(rune('1'+i)), anchor, "out", name, "p", geom.FromMicrons(80))
+	}
+	return c
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"rficlayout/internal/netlist"
 	"rficlayout/internal/pilp"
@@ -34,10 +35,23 @@ type job struct {
 	// done is closed exactly once, when resp holds the final outcome.
 	done chan struct{}
 
+	// waiters counts the synchronous requests attached to this job — the
+	// creator plus any singleflight followers sharing the solve. asyncHeld
+	// records that at least one async request wants the result, which pins
+	// the job against waiter-departure cancellation.
+	waiters   atomic.Int64
+	asyncHeld atomic.Bool
+
 	mu     sync.Mutex
 	status jobStatus
 	resp   *solveResponse
 }
+
+// attachWaiter records one more synchronous request waiting on the job. It
+// must only be called with the server's inflight lock held (joinInflight),
+// which serializes it against the last-waiter cancellation in
+// Server.releaseWaiter.
+func (j *job) attachWaiter() { j.waiters.Add(1) }
 
 // snapshot returns the job's current response document: the final one when
 // finished, a synthesized in-flight one otherwise.
@@ -49,6 +63,15 @@ func (j *job) snapshot() *solveResponse {
 		return &cp
 	}
 	return &solveResponse{ID: j.id, Circuit: j.circuit.Name, Status: string(j.status)}
+}
+
+// isDone reports whether the job already holds its final response (such a
+// job is safe to join even with a cancelled context — waiters get the
+// response immediately).
+func (j *job) isDone() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resp != nil
 }
 
 // setRunning flips a queued job to running; it reports false when the job

@@ -128,11 +128,18 @@ type Server struct {
 	closeMu sync.RWMutex
 	closed  bool
 
+	// inflight indexes admitted-but-unfinished jobs by content key so
+	// concurrent identical requests share one solve (singleflight) instead
+	// of all missing the cache and queueing duplicates.
+	inflightMu sync.Mutex
+	inflight   map[string]*job
+
 	start       time.Time
 	seq         atomic.Int64
 	solved      atomic.Int64
 	failed      atomic.Int64
 	rejected    atomic.Int64
+	coalesced   atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 }
@@ -145,14 +152,15 @@ func New(cfg Config) *Server {
 func newWithSolver(cfg Config, solve solver) *Server {
 	base, stop := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:   cfg,
-		solve: solve,
-		queue: make(chan *job, cfg.queueDepth()),
-		jobs:  newJobStore(cfg.jobRetention()),
-		mux:   http.NewServeMux(),
-		base:  base,
-		stop:  stop,
-		start: time.Now(),
+		cfg:      cfg,
+		solve:    solve,
+		queue:    make(chan *job, cfg.queueDepth()),
+		jobs:     newJobStore(cfg.jobRetention()),
+		mux:      http.NewServeMux(),
+		inflight: map[string]*job{},
+		base:     base,
+		stop:     stop,
+		start:    time.Now(),
 	}
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
@@ -236,14 +244,18 @@ func (s *Server) runJob(j *job) {
 			Layout:  []byte(text),
 			Runtime: res.Runtime,
 			Nodes:   res.Nodes,
+			Shards:  len(res.Shards),
 		})
 	}
+	stats := buildStats(j.circuit, res.Result.Layout, res.Runtime, res.Nodes)
+	stats.ShardCount = len(res.Shards)
+	stats.Shards = shardStatsJSON(res.Shards)
 	resp := &solveResponse{
 		ID:      j.id,
 		Circuit: j.circuit.Name,
 		Status:  string(statusDone),
 		Layout:  text,
-		Stats:   buildStats(j.circuit, res.Result.Layout, res.Runtime, res.Nodes),
+		Stats:   stats,
 	}
 	s.finishJob(j, resp)
 }
@@ -254,8 +266,99 @@ func (s *Server) finishJob(j *job, resp *solveResponse) {
 	} else {
 		s.failed.Add(1)
 	}
+	s.completeJob(j, resp)
+}
+
+// completeJob is the one sequence that finishes a job — wake waiters, leave
+// the singleflight index, surface in the job store. finishJob wraps it with
+// the solved/failed counters; the admission-rejection path calls it directly
+// because rejections are counted by the rejected counter alone.
+func (s *Server) completeJob(j *job, resp *solveResponse) {
 	j.finish(resp)
+	s.dropInflight(j)
 	s.jobs.markFinished(j.id)
+}
+
+// coalesceGrace is how far a joiner's deadline may outlive the leader's and
+// still share the leader's solve. Beyond it the request solves on its own:
+// inheriting a much earlier deadline would fail it while its own budget
+// still had time. Thundering herds arrive well inside this window, so the
+// coalescing they need survives the rule.
+const coalesceGrace = 5 * time.Second
+
+// joinInflight registers j as the in-flight solve for its key, or returns
+// the job already solving it. The caller's interest (async hold or sync
+// waiter) is recorded under the lock, so a shared job cannot be cancelled
+// from under a joiner by the other waiters leaving.
+func (s *Server) joinInflight(j *job, async bool) *job {
+	s.inflightMu.Lock()
+	defer s.inflightMu.Unlock()
+	target := s.inflight[j.key]
+	switch {
+	case target == nil,
+		// A leader whose context is already cancelled (its last client went
+		// away moments ago, finishJob has not removed it yet) would only
+		// hand the joiner a spurious "context canceled" failure — take over
+		// as the new leader instead. dropInflight's identity check keeps
+		// the old job's eventual cleanup from removing the replacement.
+		target.ctx.Err() != nil && !target.isDone():
+		s.inflight[j.key] = j
+		target = j
+	case outlivesLeader(j, target):
+		// This request's deadline extends well past the leader's: sharing
+		// would hand it the leader's earlier deadline failure. Solve
+		// independently (unregistered — dropInflight's identity check makes
+		// that harmless; the next cold request still finds the leader).
+		target = j
+	}
+	if async {
+		target.asyncHeld.Store(true)
+	} else {
+		target.attachWaiter()
+	}
+	if target == j {
+		return nil
+	}
+	return target
+}
+
+// outlivesLeader reports whether j's deadline exceeds the leader's by more
+// than the coalescing grace. Both contexts come from context.WithTimeout, so
+// the deadlines exist; missing ones count as unbounded.
+func outlivesLeader(j, leader *job) bool {
+	ld, ok := leader.ctx.Deadline()
+	if !ok {
+		return false
+	}
+	jd, ok := j.ctx.Deadline()
+	return !ok || jd.After(ld.Add(coalesceGrace))
+}
+
+func (s *Server) dropInflight(j *job) {
+	s.inflightMu.Lock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.inflightMu.Unlock()
+}
+
+// releaseWaiter drops one synchronous waiter from a job. The last waiter
+// leaving aborts the solve so the worker frees up — unless an async request
+// still holds the job. Both the decision and the cancellation happen under
+// the inflight lock, so a concurrent joinInflight either attaches before the
+// cancellation (and keeps the job alive) or observes the cancelled job and
+// starts a fresh leader — it can never attach to a job this method is about
+// to kill. The job is also removed from the inflight index here for the same
+// reason.
+func (s *Server) releaseWaiter(j *job) {
+	s.inflightMu.Lock()
+	defer s.inflightMu.Unlock()
+	if j.waiters.Add(-1) == 0 && !j.asyncHeld.Load() && !j.isDone() {
+		j.cancel()
+		if s.inflight[j.key] == j {
+			delete(s.inflight, j.key)
+		}
+	}
 }
 
 // solveResponse is the JSON document returned by /v1/solve and /v1/jobs.
@@ -267,6 +370,11 @@ type solveResponse struct {
 	Layout   string      `json:"layout,omitempty"`
 	Stats    *solveStats `json:"stats,omitempty"`
 	Error    string      `json:"error,omitempty"`
+
+	// code, when non-zero, is the HTTP status this response must be served
+	// with — admission rejections carry 503 so singleflight followers see
+	// the same retryable status as the leader instead of a generic 500.
+	code int
 }
 
 // solveStats reports how the layout was obtained and how good it is.
@@ -279,6 +387,41 @@ type solveStats struct {
 	MaxBends         int     `json:"max_bends"`
 	Violations       int     `json:"violations"`
 	MaxLengthErrorUM float64 `json:"max_length_error_um"`
+	// ShardCount and Shards describe the sharded phase-1 adjustment; both
+	// are absent when phase 1 ran monolithically. Cache hits report only the
+	// count (the per-shard breakdown is not persisted).
+	ShardCount int             `json:"shard_count,omitempty"`
+	Shards     []shardStatJSON `json:"shards,omitempty"`
+}
+
+// shardStatJSON is the wire form of one pilp.ShardStat.
+type shardStatJSON struct {
+	Cluster   int   `json:"cluster"`
+	Devices   int   `json:"devices"`
+	Strips    int   `json:"strips"`
+	Boundary  int   `json:"boundary"`
+	Rounds    int   `json:"rounds"`
+	Nodes     int   `json:"nodes"`
+	RuntimeNS int64 `json:"runtime_ns"`
+}
+
+func shardStatsJSON(shards []pilp.ShardStat) []shardStatJSON {
+	if len(shards) == 0 {
+		return nil
+	}
+	out := make([]shardStatJSON, len(shards))
+	for i, st := range shards {
+		out[i] = shardStatJSON{
+			Cluster:   st.Cluster,
+			Devices:   st.Devices,
+			Strips:    st.Strips,
+			Boundary:  st.Boundary,
+			Rounds:    st.Rounds,
+			Nodes:     st.Nodes,
+			RuntimeNS: int64(st.Runtime),
+		}
+	}
+	return out
 }
 
 // buildStats derives the quality metrics of a layout plus the solve-effort
@@ -391,7 +534,35 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		status:  statusQueued,
 	}
 
+	// Singleflight: an identical solve already in flight (same content key,
+	// i.e. same canonical circuit and options) is shared instead of queued a
+	// second time. The solve runs under the leader's deadline, but a sync
+	// follower still waits no longer than its own requested timeout (j.ctx
+	// carries it) — coalescing must not erase the per-request 504 contract.
+	if leader := s.joinInflight(j, async); leader != nil {
+		s.coalesced.Add(1)
+		if async {
+			cancel()
+			writeJSON(w, http.StatusAccepted, leader.snapshot())
+			return
+		}
+		s.awaitJob(w, r, leader, j.ctx)
+		cancel()
+		return
+	}
+
 	if err := s.admit(j); err != nil {
+		// Followers may have joined this job between joinInflight and the
+		// failed admit: finish it (which also drops it from the inflight
+		// index) so sync followers wake with the rejection instead of
+		// hanging on done, and register it so async followers' polls find
+		// the rejection rather than a permanent 404. Rejections count under
+		// the rejected counter only (admit incremented it), not failed, and
+		// carry 503 so followers answer with the leader's retryable status.
+		s.jobs.add(j)
+		resp := failedResponse(j, err)
+		resp.code = http.StatusServiceUnavailable
+		s.completeJob(j, resp)
 		cancel()
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
@@ -401,15 +572,42 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, j.snapshot())
 		return
 	}
+	s.awaitJob(w, r, j, nil)
+}
 
-	// A synchronous client that goes away aborts its solve so the worker
-	// frees up; the AfterFunc is detached once the job finishes normally.
-	detach := context.AfterFunc(r.Context(), j.cancel)
-	defer detach()
+// awaitJob blocks a synchronous request on a job it holds a waiter slot on
+// (recorded by joinInflight). A client that goes away releases its slot; the
+// last synchronous waiter leaving aborts the solve so the worker frees up,
+// unless an async request also holds the job. limit, when non-nil, bounds
+// the wait independently of the job — singleflight followers pass their own
+// request-timeout context so a shared solve still answers 504 on their
+// schedule (the leader needs no limit: its job context is what times the
+// solve out).
+func (s *Server) awaitJob(w http.ResponseWriter, r *http.Request, j *job, limit context.Context) {
+	stop := context.AfterFunc(r.Context(), func() { s.releaseWaiter(j) })
+	defer func() {
+		if stop() {
+			s.releaseWaiter(j)
+		}
+	}()
+	var limitDone <-chan struct{}
+	if limit != nil {
+		limitDone = limit.Done()
+	}
 	select {
 	case <-j.done:
 		resp := j.snapshot()
 		writeJSON(w, statusCodeFor(resp), resp)
+	case <-limitDone:
+		// The shared solve may have finished in the same instant; prefer
+		// its result over a spurious timeout.
+		select {
+		case <-j.done:
+			resp := j.snapshot()
+			writeJSON(w, statusCodeFor(resp), resp)
+		default:
+			writeError(w, http.StatusGatewayTimeout, "request timed out before the shared solve finished: "+limit.Err().Error())
+		}
 	case <-r.Context().Done():
 		writeError(w, http.StatusGatewayTimeout, "request cancelled before the solve finished: "+r.Context().Err().Error())
 	case <-s.base.Done():
@@ -422,19 +620,25 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // makes it byte-identical to what re-solving would produce — while the
 // quality metrics are recomputed from the parsed layout.
 func cachedResponse(c *netlist.Circuit, entry cache.Entry, l *layout.Layout) *solveResponse {
+	stats := buildStats(c, l, entry.Runtime, entry.Nodes)
+	stats.ShardCount = entry.Shards
 	return &solveResponse{
 		ID:       fmt.Sprintf("cached-%s", c.Name),
 		Circuit:  c.Name,
 		Status:   string(statusDone),
 		CacheHit: true,
 		Layout:   string(entry.Layout),
-		Stats:    buildStats(c, l, entry.Runtime, entry.Nodes),
+		Stats:    stats,
 	}
 }
 
-// statusCodeFor maps a finished job to its HTTP status: deadline and
-// cancellation failures surface as 504, other solver failures as 500.
+// statusCodeFor maps a finished job to its HTTP status: an explicit code
+// wins, deadline and cancellation failures surface as 504, other solver
+// failures as 500.
 func statusCodeFor(resp *solveResponse) int {
+	if resp.code != 0 {
+		return resp.code
+	}
 	if resp.Status == string(statusDone) {
 		return http.StatusOK
 	}
@@ -469,7 +673,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, resp)
 }
 
-// healthResponse is the /healthz document.
+// healthResponse is the /healthz document. CacheHits/CacheMisses count this
+// server's lookups; Cache reports the tier's own counters (including
+// evictions and footprint) when the configured cache exposes them.
 type healthResponse struct {
 	Status        string         `json:"status"`
 	Uptime        string         `json:"uptime"`
@@ -480,8 +686,10 @@ type healthResponse struct {
 	Solved        int64          `json:"solved"`
 	Failed        int64          `json:"failed"`
 	Rejected      int64          `json:"rejected"`
+	Coalesced     int64          `json:"coalesced"`
 	CacheHits     int64          `json:"cache_hits"`
 	CacheMisses   int64          `json:"cache_misses"`
+	Cache         *cache.Stats   `json:"cache,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -489,7 +697,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET /healthz")
 		return
 	}
-	writeJSON(w, http.StatusOK, healthResponse{
+	h := healthResponse{
 		Status:        "ok",
 		Uptime:        time.Since(s.start).Round(time.Millisecond).String(),
 		Workers:       s.cfg.workers(),
@@ -499,9 +707,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Solved:        s.solved.Load(),
 		Failed:        s.failed.Load(),
 		Rejected:      s.rejected.Load(),
+		Coalesced:     s.coalesced.Load(),
 		CacheHits:     s.cacheHits.Load(),
 		CacheMisses:   s.cacheMisses.Load(),
-	})
+	}
+	if sr, ok := s.cfg.Cache.(cache.StatsReader); ok {
+		st := sr.Stats()
+		h.Cache = &st
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -247,19 +249,24 @@ func TestAdmissionQueueFull(t *testing.T) {
 		s.Close()
 	}()
 
+	// Distinct circuits per request: identical bodies would be coalesced by
+	// the singleflight layer instead of stressing admission control.
+	distinct := func(i int) string {
+		return strings.Replace(tinyNetlist, "circuit tiny", fmt.Sprintf("circuit tiny%d", i), 1)
+	}
 	// First job occupies the single worker...
-	resp, _ := postSolve(t, ts.URL+"/v1/solve?async=1", tinyNetlist)
+	resp, _ := postSolve(t, ts.URL+"/v1/solve?async=1", distinct(1))
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("job 1: status %d", resp.StatusCode)
 	}
 	<-started
 	// ...the second fills the depth-1 queue...
-	resp, _ = postSolve(t, ts.URL+"/v1/solve?async=1", tinyNetlist)
+	resp, _ = postSolve(t, ts.URL+"/v1/solve?async=1", distinct(2))
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("job 2: status %d", resp.StatusCode)
 	}
 	// ...and the third must be rejected by admission control.
-	resp, sr := postSolve(t, ts.URL+"/v1/solve?async=1", tinyNetlist)
+	resp, sr := postSolve(t, ts.URL+"/v1/solve?async=1", distinct(3))
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("job 3: status %d (%+v), want 503", resp.StatusCode, sr)
 	}
@@ -379,5 +386,221 @@ func TestCorruptCacheEntryDegradesToMiss(t *testing.T) {
 	// The re-solve must have replaced the corrupt entry.
 	if entry, ok := lru.Get(key); !ok || !strings.HasPrefix(string(entry.Layout), "layout tiny\n") {
 		t.Error("corrupt entry not overwritten by the re-solve")
+	}
+}
+
+// TestSingleflightSharesOneSolve is the ROADMAP's singleflight contract: N
+// concurrent identical requests must run the solver exactly once and all
+// receive that one result.
+func TestSingleflightSharesOneSolve(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	blocking := func(ctx context.Context, job engine.Job, logf func(string, ...interface{})) engine.Result {
+		calls.Add(1)
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return engine.Result{ID: job.ID, Err: ctx.Err()}
+		}
+		return engineSolver(ctx, job, logf)
+	}
+	cfg := fastConfig()
+	cfg.Workers = 4
+	s := newWithSolver(cfg, blocking)
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	const followers = 4
+	var wg sync.WaitGroup
+	codes := make([]int, followers)
+	bodies := make([]solveResponse, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, sr := postSolve(t, ts.URL+"/v1/solve", tinyNetlist)
+			codes[i], bodies[i] = resp.StatusCode, sr
+		}(i)
+	}
+	// Wait until every request is attached to the one shared job before
+	// letting the solver finish — releasing earlier would let a straggler
+	// miss the inflight window and honestly start a second solve.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.inflightMu.Lock()
+		var waiters int64
+		for _, j := range s.inflight {
+			waiters = j.waiters.Load()
+		}
+		n := len(s.inflight)
+		s.inflightMu.Unlock()
+		if n == 1 && waiters == followers {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("requests never converged on one job (%d inflight, %d waiters)", n, waiters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("solver called %d times for %d identical requests", got, followers)
+	}
+	for i := 0; i < followers; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d (%s)", i, codes[i], bodies[i].Error)
+		}
+		if bodies[i].Layout != bodies[0].Layout || bodies[i].Layout == "" {
+			t.Errorf("request %d received a different layout", i)
+		}
+		if bodies[i].ID != bodies[0].ID {
+			t.Errorf("request %d answered from job %s, want shared job %s", i, bodies[i].ID, bodies[0].ID)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Coalesced != followers-1 {
+		t.Errorf("coalesced = %d, want %d", h.Coalesced, followers-1)
+	}
+	if h.Solved != 1 {
+		t.Errorf("solved = %d, want 1", h.Solved)
+	}
+}
+
+// TestSingleflightAsyncJoinsLeader checks an async request for an in-flight
+// circuit returns the leader's job instead of admitting a duplicate.
+func TestSingleflightAsyncJoinsLeader(t *testing.T) {
+	release := make(chan struct{})
+	blocking := func(ctx context.Context, job engine.Job, logf func(string, ...interface{})) engine.Result {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return engineSolver(ctx, job, logf)
+	}
+	cfg := fastConfig()
+	s := newWithSolver(cfg, blocking)
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	resp, leader := postSolve(t, ts.URL+"/v1/solve?async=1", tinyNetlist)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("leader: status %d", resp.StatusCode)
+	}
+	resp, follower := postSolve(t, ts.URL+"/v1/solve?async=1", tinyNetlist)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("follower: status %d", resp.StatusCode)
+	}
+	if follower.ID != leader.ID {
+		t.Errorf("follower got job %s, want the leader's %s", follower.ID, leader.ID)
+	}
+	close(release)
+}
+
+// TestHealthzCacheTierStats checks /healthz surfaces the cache tier's own
+// counters (hits, misses, evictions, footprint) alongside the server's.
+func TestHealthzCacheTierStats(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Cache = cache.NewLRU(16, 0)
+	_, ts := startServer(t, cfg)
+	postSolve(t, ts.URL+"/v1/solve", tinyNetlist) // miss + put
+	postSolve(t, ts.URL+"/v1/solve", tinyNetlist) // hit
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Cache == nil {
+		t.Fatal("healthz has no cache tier stats")
+	}
+	if h.Cache.Hits != 1 || h.Cache.Misses != 1 {
+		t.Errorf("cache tier stats = %+v, want 1 hit / 1 miss", h.Cache)
+	}
+	if h.Cache.Entries != 1 || h.Cache.Bytes <= 0 {
+		t.Errorf("cache footprint = %d entries / %d bytes, want 1 entry", h.Cache.Entries, h.Cache.Bytes)
+	}
+}
+
+// TestSingleflightFollowerKeepsOwnTimeout pins the per-request 504 contract
+// under coalescing: a follower with a short ?timeout must time out on its
+// own schedule even though the shared solve keeps running under the
+// leader's deadline.
+func TestSingleflightFollowerKeepsOwnTimeout(t *testing.T) {
+	release := make(chan struct{})
+	blocking := func(ctx context.Context, job engine.Job, logf func(string, ...interface{})) engine.Result {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return engine.Result{ID: job.ID, Err: ctx.Err()}
+		}
+		return engineSolver(ctx, job, logf)
+	}
+	cfg := fastConfig()
+	s := newWithSolver(cfg, blocking)
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	leaderDone := make(chan solveResponse, 1)
+	go func() {
+		_, sr := postSolve(t, ts.URL+"/v1/solve", tinyNetlist)
+		leaderDone <- sr
+	}()
+	// Wait for the leader's job to be in flight before the follower joins.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.inflightMu.Lock()
+		n := len(s.inflight)
+		s.inflightMu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("leader job never registered in flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	resp, sr := postSolve(t, ts.URL+"/v1/solve?timeout=150ms", tinyNetlist)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("follower status = %d (%+v), want 504", resp.StatusCode, sr)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("follower waited %v for a 150ms timeout", elapsed)
+	}
+
+	// The shared solve must have survived the follower's departure: release
+	// it and the leader gets a real result.
+	close(release)
+	select {
+	case sr := <-leaderDone:
+		if sr.Status != "done" || sr.Layout == "" {
+			t.Errorf("leader response after follower timeout: %+v", sr)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("leader never finished")
 	}
 }
