@@ -13,9 +13,20 @@
 // worker counts, and exits non-zero when the sharded layout score regresses
 // beyond -shard-tol. CI runs this as the sharding guard.
 //
+// With -lp-compare the harness runs the pivot-level benchmark
+// (internal/lp/benchharness): the circuit named by -lp-circuit (a Table 1
+// name, "large"/"largeN", or a .rfic path) is solved under every pivot rule
+// × warm/cold LP mode × worker count, the per-run simplex counters are
+// printed as a table (and recorded via -stats-out), and the run exits
+// non-zero when any cell's layout deviates from the rest, when a warm run
+// spends more pivots than its cold baseline, or when the default rule's
+// warm-start pivot reduction falls below -lp-min-speedup. CI runs this as
+// the pivot-regression guard.
+//
 // With -stats-out FILE every solved job appends one JSON line (circuit,
-// runtime, branch-and-bound nodes, shard count) to FILE, building the
-// perf-trajectory artifact CI archives run over run.
+// runtime, branch-and-bound nodes, shard count, simplex counters) to FILE,
+// building the perf-trajectory artifact CI archives run over run —
+// scripts/perftrend folds those archives into a per-PR report.
 //
 // Usage:
 //
@@ -25,6 +36,7 @@
 //	rficbench -figure11a
 //	rficbench -figure11b
 //	rficbench -shardguard -shard-size 6 -shard-tol 0.1
+//	rficbench -lp-compare -lp-circuit large -lp-phase1 -lp-min-speedup 1.5
 package main
 
 import (
@@ -35,12 +47,15 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"rficlayout/internal/circuits"
 	"rficlayout/internal/emsim"
 	"rficlayout/internal/engine"
 	"rficlayout/internal/layout"
+	"rficlayout/internal/lp"
+	"rficlayout/internal/lp/benchharness"
 	"rficlayout/internal/manual"
 	"rficlayout/internal/netlist"
 	"rficlayout/internal/pilp"
@@ -60,6 +75,11 @@ func main() {
 	shardTol := flag.Float64("shard-tol", 0.1, "allowed fractional score regression of the sharded run in -shardguard")
 	guardScale := flag.Int("guard-scale", 1, "size multiplier of the synthetic circuit used by -shardguard")
 	statsOut := flag.String("stats-out", "", "append one JSON line of solve stats per job to this file")
+	lpCompare := flag.Bool("lp-compare", false, "run the pivot-level LP benchmark: pivot rules x warm/cold x worker counts on one circuit")
+	lpCircuit := flag.String("lp-circuit", "large", "circuit for -lp-compare: a Table 1 name, large/largeN, or a .rfic path")
+	lpPhase1 := flag.Bool("lp-phase1", false, "restrict -lp-compare to the phase-1 adjustment (faster on big circuits)")
+	lpMinSpeedup := flag.Float64("lp-min-speedup", 1.0, "minimum warm-start pivot reduction (cold/warm) for the default rule in -lp-compare")
+	lpStripNodes := flag.Int("lp-strip-nodes", 25, "deterministic node budget per per-strip solve in -lp-compare (0 = unlimited); caps searches that would otherwise run into their wall-clock limit at a path-independent point")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -92,10 +112,96 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if !*table1 && !*figure7 && !*figure11a && !*figure11b && !*shardGuard {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -figure7, -figure11a, -figure11b or -shardguard")
+	if *lpCompare {
+		if !runLPCompare(ctx, opts, *lpCircuit, *lpPhase1, *lpMinSpeedup, *lpStripNodes, stats) {
+			stats.Close()
+			os.Exit(1)
+		}
+	}
+	if !*table1 && !*figure7 && !*figure11a && !*figure11b && !*shardGuard && !*lpCompare {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -figure7, -figure11a, -figure11b, -shardguard or -lp-compare")
 		os.Exit(2)
 	}
+}
+
+// loadLPCircuit resolves the -lp-circuit argument: a path to a .rfic netlist
+// is parsed from disk, anything else goes through the named-spec registry
+// (Table 1 names plus the large synthetics).
+func loadLPCircuit(name string) (*netlist.Circuit, error) {
+	if strings.HasSuffix(name, ".rfic") {
+		return netlist.ParseFile(name)
+	}
+	spec, err := circuits.BySpecName(name)
+	if err != nil {
+		return nil, err
+	}
+	return circuits.Build(spec), nil
+}
+
+// runLPCompare runs the pivot-level comparison matrix and applies the three
+// guards: byte-identical layouts across every cell, no warm cell spending
+// more pivots than its cold baseline, and the default rule's warm-start
+// reduction meeting the -lp-min-speedup floor.
+func runLPCompare(ctx context.Context, opts pilp.Options, circuitName string, phase1Only bool, minSpeedup float64, stripNodes int, stats *statsWriter) bool {
+	c, err := loadLPCircuit(circuitName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rficbench: -lp-circuit:", err)
+		return false
+	}
+	// The comparison needs a converging, deterministic branch-and-bound
+	// workload, not a production-quality layout: restrict the chain-point
+	// growth, skip the phase-3 refinement (whose junction escalations
+	// dwarf everything else on big circuits), and cap each per-strip
+	// search by node count, so every cell of the matrix finishes well
+	// inside its wall-clock limits (a binding time limit cuts the search
+	// at a wall-clock-dependent point, which would void the byte-equality
+	// guard; a binding node budget cuts it at a path-independent one).
+	opts.ChainPoints = 2
+	opts.MaxChainPoints = 3
+	opts.MaxRefineIterations = -1
+	opts.StripNodeLimit = stripNodes
+	fmt.Printf("lp-compare: %s\n", c.Stats())
+	rep, err := benchharness.Compare(ctx, benchharness.Config{
+		Circuit:    c,
+		Options:    opts,
+		Phase1Only: phase1Only,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rficbench:", err)
+		return false
+	}
+	fmt.Print(rep.Table())
+	for _, run := range rep.Runs {
+		variant := fmt.Sprintf("lp-%s-%s-w%d", run.Rule, map[bool]string{true: "cold", false: "warm"}[run.Cold], run.Workers)
+		stats.record(solveRecord{
+			Circuit: c.Name, Variant: variant,
+			RuntimeNS: int64(run.Runtime), Nodes: run.Nodes,
+			LPPivots: run.LP.Pivots, LPRefactorizations: run.LP.Refactorizations,
+			LPWarmHits: run.LP.WarmHits, LPWarmMisses: run.LP.WarmMisses,
+			LPColdSolves: run.LP.ColdSolves,
+		})
+	}
+	ok := true
+	if ms := rep.Mismatches(); len(ms) > 0 {
+		for _, m := range ms {
+			fmt.Fprintln(os.Stderr, "rficbench: layout mismatch:", m)
+		}
+		ok = false
+	}
+	if regs := rep.Regressions(); len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "rficbench: pivot regression:", r)
+		}
+		ok = false
+	}
+	if red := rep.PivotReduction(lp.PivotDantzig); red < minSpeedup {
+		fmt.Fprintf(os.Stderr, "rficbench: warm-start pivot reduction %.2fx below the %.2fx floor\n", red, minSpeedup)
+		ok = false
+	}
+	if ok {
+		fmt.Println("lp-compare: OK")
+	}
+	return ok
 }
 
 // statsWriter appends one JSON document per line to a file (JSONL), the
@@ -106,15 +212,22 @@ type statsWriter struct {
 	enc *json.Encoder
 }
 
-// solveRecord is one JSONL line of solve stats.
+// solveRecord is one JSONL line of solve stats. The lp_* fields carry the
+// simplex-level effort counters; they are zero (and omitted) for records
+// written by modes that predate them.
 type solveRecord struct {
-	Circuit   string  `json:"circuit"`
-	Variant   string  `json:"variant,omitempty"` // e.g. "small-area", "monolithic", "sharded"
-	RuntimeNS int64   `json:"runtime_ns"`
-	Phase1NS  int64   `json:"phase1_ns,omitempty"`
-	Nodes     int     `json:"nodes"`
-	Shards    int     `json:"shards"`
-	Score     float64 `json:"score"`
+	Circuit            string  `json:"circuit"`
+	Variant            string  `json:"variant,omitempty"` // e.g. "small-area", "monolithic", "lp-dantzig-warm-w1"
+	RuntimeNS          int64   `json:"runtime_ns"`
+	Phase1NS           int64   `json:"phase1_ns,omitempty"`
+	Nodes              int     `json:"nodes"`
+	Shards             int     `json:"shards"`
+	Score              float64 `json:"score"`
+	LPPivots           int     `json:"lp_pivots,omitempty"`
+	LPRefactorizations int     `json:"lp_refactorizations,omitempty"`
+	LPWarmHits         int     `json:"lp_warm_hits,omitempty"`
+	LPWarmMisses       int     `json:"lp_warm_misses,omitempty"`
+	LPColdSolves       int     `json:"lp_cold_solves,omitempty"`
 }
 
 func newStatsWriter(path string) (*statsWriter, error) {

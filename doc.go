@@ -34,8 +34,18 @@
 //	                             and cluster-local sub-MILPs with penalized
 //	                             boundary slack (BuildSub)
 //	internal/milp                branch-and-bound with batched parallel LP
-//	                             evaluation, warm starts, dive heuristic
-//	internal/lp                  bounded-variable primal simplex
+//	                             evaluation, dive heuristic; child nodes
+//	                             warm-start the dual simplex from the parent
+//	                             basis and fall back to a cold solve when the
+//	                             basis is incompatible
+//	internal/lp                  bounded-variable primal + dual simplex with
+//	                             exportable bases, pluggable pivot rules
+//	                             (Dantzig, Bland, Devex) and lexicographic
+//	                             canonicalization of optimal vertices
+//	internal/lp/benchharness     pivot-level benchmark matrix behind
+//	                             rficbench -lp-compare: pivot rule × warm/cold
+//	                             × workers, byte-equality and pivot-regression
+//	                             checks
 //
 // Cancellation flows top-down: every solve entry point has a Ctx variant
 // (engine.Run, pilp.GenerateCtx, ilpmodel.SolveAndExtractCtx, milp.SolveCtx,
@@ -58,9 +68,16 @@
 // cores. Model construction is deterministic too: constraint emission walks
 // circuit declaration order, never Go map order, because on a degenerate
 // optimum the simplex pivot sequence decides which vertex — and therefore
-// which layout — comes back. The one caveat: a binding time limit (or
-// cancellation) interrupts the search at a timing-dependent point, so only
-// runs whose limits do not bind are comparable.
+// which layout — comes back. On top of that, internal/lp canonicalizes
+// every optimal solution to the lexicographically smallest vertex of its
+// optimal face, so the reported X is independent of the pivot path
+// entirely: warm-started, cold-started, and differently-ruled solves all
+// return the byte-identical layout. The one caveat: a binding time limit
+// (or cancellation) interrupts the search at a timing-dependent point, so
+// only runs whose limits do not bind are comparable —
+// pilp.Options.StripNodeLimit offers a deterministic node budget as the
+// path-independent alternative for workloads whose strip solves would
+// otherwise hit the clock.
 //
 // Determinism is also what makes results exactly cacheable: internal/cache
 // addresses a solve by the SHA-256 of the canonical circuit text

@@ -46,6 +46,10 @@ type Entry struct {
 	// Shards is how many phase-1 clusters the original solve used (zero for
 	// the monolithic phase 1).
 	Shards int
+	// LP echoes the original solve's simplex-level effort counters so
+	// cached responses report the same stats as the solve that produced
+	// them. Entries written before these counters existed decode as zero.
+	LP pilp.LPStats
 }
 
 // size approximates the memory footprint of the entry for the LRU byte

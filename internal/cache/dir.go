@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"rficlayout/internal/pilp"
 )
 
 // Dir is a directory-backed cache tier: one JSON file per entry, named by
@@ -34,12 +36,56 @@ func NewDir(path string) (*Dir, error) {
 // monolithic solves, so entries written before sharding existed decode
 // unchanged.
 type diskEntry struct {
-	Circuit   string    `json:"circuit"`
-	Layout    string    `json:"layout"`
-	RuntimeNS int64     `json:"runtime_ns"`
-	Nodes     int       `json:"nodes"`
-	Shards    int       `json:"shards,omitempty"`
-	CreatedAt time.Time `json:"created_at"`
+	Circuit   string       `json:"circuit"`
+	Layout    string       `json:"layout"`
+	RuntimeNS int64        `json:"runtime_ns"`
+	Nodes     int          `json:"nodes"`
+	Shards    int          `json:"shards,omitempty"`
+	LP        *diskLPStats `json:"lp,omitempty"`
+	CreatedAt time.Time    `json:"created_at"`
+}
+
+// diskLPStats is the on-disk form of the simplex-effort counters; a nil
+// pointer (entries predating the counters) decodes to zeros.
+type diskLPStats struct {
+	Pivots           int `json:"pivots"`
+	Refactorizations int `json:"refactorizations"`
+	WarmHits         int `json:"warm_hits"`
+	WarmMisses       int `json:"warm_misses"`
+	ColdSolves       int `json:"cold_solves"`
+	WarmSeedAccepted int `json:"warm_seed_accepted"`
+	WarmSeedRejected int `json:"warm_seed_rejected"`
+}
+
+func toDiskLPStats(s pilp.LPStats) *diskLPStats {
+	if s == (pilp.LPStats{}) {
+		return nil
+	}
+	return &diskLPStats{
+		Pivots:           s.Pivots,
+		Refactorizations: s.Refactorizations,
+		WarmHits:         s.WarmHits,
+		WarmMisses:       s.WarmMisses,
+		ColdSolves:       s.ColdSolves,
+		WarmSeedAccepted: s.WarmSeedAccepted,
+		WarmSeedRejected: s.WarmSeedRejected,
+	}
+}
+
+func fromDiskLPStats(d *diskLPStats) pilp.LPStats {
+	if d == nil {
+		return pilp.LPStats{}
+	}
+	s := pilp.LPStats{
+		WarmSeedAccepted: d.WarmSeedAccepted,
+		WarmSeedRejected: d.WarmSeedRejected,
+	}
+	s.Pivots = d.Pivots
+	s.Refactorizations = d.Refactorizations
+	s.WarmHits = d.WarmHits
+	s.WarmMisses = d.WarmMisses
+	s.ColdSolves = d.ColdSolves
+	return s
 }
 
 // keyOK rejects keys that are not hex content addresses, so a malformed key
@@ -85,6 +131,7 @@ func (d *Dir) Get(key string) (Entry, bool) {
 		Runtime: time.Duration(de.RuntimeNS),
 		Nodes:   de.Nodes,
 		Shards:  de.Shards,
+		LP:      fromDiskLPStats(de.LP),
 	}, true
 }
 
@@ -100,6 +147,7 @@ func (d *Dir) Put(key string, e Entry) {
 		RuntimeNS: int64(e.Runtime),
 		Nodes:     e.Nodes,
 		Shards:    e.Shards,
+		LP:        toDiskLPStats(e.LP),
 		CreatedAt: time.Now().UTC(),
 	})
 	if err != nil {

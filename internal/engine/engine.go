@@ -58,6 +58,9 @@ type Result struct {
 	// Nodes is the total branch-and-bound node count of the job's flow, zero
 	// when the job failed before solving.
 	Nodes int
+	// LP aggregates the flow's simplex-level effort counters
+	// (pilp.Result.LP); zero when the job failed before solving.
+	LP pilp.LPStats
 	// Shards echoes the per-cluster sub-solve stats of the sharded phase-1
 	// adjustment (pilp.Result.Shards); nil when the flow ran the monolithic
 	// phase 1 or failed before solving.
@@ -122,12 +125,13 @@ func Run(ctx context.Context, jobs []Job, opts Options) []Result {
 			results[i].Runtime = time.Since(start)
 			if results[i].Result != nil {
 				results[i].Nodes = results[i].Result.Nodes
+				results[i].LP = results[i].Result.LP
 				results[i].Shards = results[i].Result.Shards
 			}
 			if results[i].Err != nil {
 				opts.logf("engine: job %s failed after %v: %v", results[i].Name, results[i].Runtime, results[i].Err)
 			} else {
-				opts.logf("engine: job %s done in %v (%d nodes)", results[i].Name, results[i].Runtime, results[i].Nodes)
+				opts.logf("engine: job %s done in %v (%d nodes, %d LP pivots)", results[i].Name, results[i].Runtime, results[i].Nodes, results[i].LP.Pivots)
 			}
 			<-sem
 		}(i, job)

@@ -1,0 +1,313 @@
+package lp
+
+import "math"
+
+// BasisStatus is the role of one column in an exported Basis.
+type BasisStatus int8
+
+// Column roles. Nonbasic columns sit at one of their bounds (or at zero when
+// free); basic columns take whatever value satisfies the constraints.
+const (
+	BasisAtLower BasisStatus = iota
+	BasisAtUpper
+	BasisFree
+	BasisBasic
+)
+
+// Basis is a snapshot of a simplex basis, detached from any solver state: the
+// basic column of every tableau row plus the status of every column. Columns
+// are the problem's structural variables followed by one slack per
+// constraint; artificial columns never appear (a solve whose optimal basis
+// still contains an artificial exports no basis at all).
+//
+// A Basis exported from one solve can warm-start another solve of the same
+// problem through Options.WarmBasis, as long as only bounds changed — which
+// is exactly the shape of a branch-and-bound child node. The solver treats an
+// imported Basis as read-only, so one Basis may seed many concurrent solves.
+type Basis struct {
+	Basic  []int32       // basic column per row, len == number of constraints
+	Status []BasisStatus // per column, len == variables + constraints
+}
+
+// compatible reports whether the basis dimensions match a problem with m
+// constraints and nStruct structural variables, every basic column is in
+// range and marked basic, no column is basic twice, and exactly the basic
+// columns carry BasisBasic.
+func (b *Basis) compatible(m, nStruct int) bool {
+	if b == nil || len(b.Basic) != m || len(b.Status) != nStruct+m {
+		return false
+	}
+	basicStatuses := 0
+	for _, st := range b.Status {
+		if st == BasisBasic {
+			basicStatuses++
+		}
+	}
+	if basicStatuses != m {
+		return false
+	}
+	seen := make([]bool, nStruct+m)
+	for _, c := range b.Basic {
+		if c < 0 || int(c) >= nStruct+m || seen[c] || b.Status[c] != BasisBasic {
+			return false
+		}
+		seen[c] = true
+	}
+	return true
+}
+
+// exportBasis snapshots the current basis, or returns nil when an artificial
+// column is still basic (a child solve could not reconstruct it).
+func (s *simplex) exportBasis() *Basis {
+	for _, j := range s.basis {
+		if j >= s.artStart {
+			return nil
+		}
+	}
+	b := &Basis{
+		Basic:  make([]int32, s.m),
+		Status: make([]BasisStatus, s.nStruct+s.m),
+	}
+	for i, j := range s.basis {
+		b.Basic[i] = int32(j)
+	}
+	for j := 0; j < s.nStruct+s.m; j++ {
+		switch s.status[j] {
+		case atLower:
+			b.Status[j] = BasisAtLower
+		case atUpper:
+			b.Status[j] = BasisAtUpper
+		case atFree:
+			b.Status[j] = BasisFree
+		case inBasis:
+			b.Status[j] = BasisBasic
+		}
+	}
+	return b
+}
+
+// installBasis loads an exported basis into a freshly constructed solver
+// (newSimplexBase state: bounds and costs set, no artificials). It returns
+// false — leaving the solver unusable — when the basis does not fit the
+// problem, its basis matrix is singular under the deterministic
+// refactorization, or the resulting reduced costs are not dual-feasible; the
+// caller then falls back to a cold primal solve.
+func (s *simplex) installBasis(b *Basis) bool {
+	if !b.compatible(s.m, s.nStruct) {
+		return false
+	}
+	s.basis = make([]int, s.m)
+	for i, c := range b.Basic {
+		s.basis[i] = int(c)
+	}
+	for j := 0; j < s.n; j++ {
+		var st varStatus
+		switch b.Status[j] {
+		case BasisAtLower:
+			st = atLower
+		case BasisAtUpper:
+			st = atUpper
+		case BasisFree:
+			st = atFree
+		case BasisBasic:
+			st = inBasis
+		default:
+			return false
+		}
+		s.status[j] = st
+		if st != inBasis {
+			s.status[j] = s.normalizeNonbasic(j, st)
+		}
+	}
+	if !s.refactorize() {
+		return false
+	}
+	s.computeReducedCosts()
+	return s.dualFeasible()
+}
+
+// normalizeNonbasic reconciles an imported nonbasic status with the current
+// bounds: a bound the status refers to may have become infinite (or the
+// variable fixed) relative to the exporting solve.
+func (s *simplex) normalizeNonbasic(j int, st varStatus) varStatus {
+	lo, up := s.lower[j], s.upper[j]
+	if lo == up {
+		return atLower
+	}
+	loInf := math.IsInf(lo, -1)
+	upInf := math.IsInf(up, 1)
+	switch st {
+	case atLower:
+		if loInf {
+			if upInf {
+				return atFree
+			}
+			return atUpper
+		}
+	case atUpper:
+		if upInf {
+			if loInf {
+				return atFree
+			}
+			return atLower
+		}
+	case atFree:
+		if !loInf || !upInf {
+			return initialStatus(lo, up)
+		}
+	}
+	return st
+}
+
+// dualFeasible reports whether the phase-2 reduced costs respect the sign
+// conditions of every nonbasic column. The tolerance is looser than the
+// pivoting tolerance because an imported basis was optimal under bit-
+// different arithmetic.
+func (s *simplex) dualFeasible() bool {
+	tol := 10 * s.tol
+	for j := 0; j < s.n; j++ {
+		if s.status[j] == inBasis || s.lower[j] == s.upper[j] {
+			continue
+		}
+		d := s.reduced[j]
+		switch s.status[j] {
+		case atLower:
+			if d < -tol {
+				return false
+			}
+		case atUpper:
+			if d > tol {
+				return false
+			}
+		case atFree:
+			if math.Abs(d) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// rawRow writes the unfactorized constraint row i — structural coefficients,
+// the +1 slack, and any artificial columns of that row — into dst, which must
+// be zeroed and of length s.n.
+func (s *simplex) rawRow(i int, dst []float64) {
+	for _, e := range s.prob.Constraints[i].Row {
+		dst[e.Var] += e.Coef
+	}
+	dst[s.nStruct+i] = 1
+	for k, r := range s.artRow {
+		if r == i {
+			dst[s.artStart+k] = s.artSign[k]
+		}
+	}
+}
+
+// refactorize rebuilds the tableau T = B⁻¹·A and the basic values from the
+// raw problem data and the current basic set, discarding all floating-point
+// error accumulated by incremental pivoting. The elimination order — unit
+// columns (slacks, artificials) pivot first at their home rows, then
+// structural columns in ascending index order with partial pivoting over the
+// unassigned rows — depends only on the basic set, so two solves that reach
+// the same basis through different pivot paths end with bit-identical state.
+// Returns false when the basis matrix is singular.
+func (s *simplex) refactorize() bool {
+	const pivTol = 1e-9
+	m, n := s.m, s.n
+	basicSet := make([]bool, n)
+	for _, j := range s.basis {
+		basicSet[j] = true
+	}
+	W := make([][]float64, m)
+	rhs := make([]float64, m)
+	for i := 0; i < m; i++ {
+		W[i] = make([]float64, n)
+		s.rawRow(i, W[i])
+		acc := 0.0
+		for j, a := range W[i] {
+			if a != 0 && !basicSet[j] {
+				acc += a * s.nonbasicValue(j)
+			}
+		}
+		rhs[i] = s.prob.Constraints[i].RHS - acc
+	}
+
+	cols := make([]int, 0, m)
+	for j := 0; j < n; j++ {
+		if basicSet[j] {
+			cols = append(cols, j)
+		}
+	}
+	assigned := make([]bool, m)
+	newBasis := make([]int, m)
+	// eliminate pivots column c in row home; callers have checked that the
+	// pivot element is well away from zero.
+	eliminate := func(c, home int) {
+		inv := 1 / W[home][c]
+		prow := W[home]
+		for j := 0; j < n; j++ {
+			prow[j] *= inv
+		}
+		prow[c] = 1
+		rhs[home] *= inv
+		for r := 0; r < m; r++ {
+			if r == home {
+				continue
+			}
+			f := W[r][c]
+			if f == 0 {
+				continue
+			}
+			row := W[r]
+			for j := 0; j < n; j++ {
+				row[j] -= f * prow[j]
+			}
+			row[c] = 0
+			rhs[r] -= f * rhs[home]
+		}
+		assigned[home] = true
+		newBasis[home] = c
+	}
+
+	// Unit columns: a slack or artificial is ±1 in its home row and zero
+	// elsewhere, so it can only pivot there (and the elimination loop finds
+	// nothing to do for a still-raw column).
+	for _, c := range cols {
+		if c < s.nStruct {
+			continue
+		}
+		home := c - s.nStruct
+		if c >= s.artStart {
+			home = s.artRow[c-s.artStart]
+		}
+		if assigned[home] || math.Abs(W[home][c]) < pivTol {
+			return false
+		}
+		eliminate(c, home)
+	}
+	// Structural columns take the remaining rows by partial pivoting.
+	for _, c := range cols {
+		if c >= s.nStruct {
+			continue
+		}
+		best, bestAbs := -1, pivTol
+		for r := 0; r < m; r++ {
+			if assigned[r] {
+				continue
+			}
+			if a := math.Abs(W[r][c]); a > bestAbs {
+				best, bestAbs = r, a
+			}
+		}
+		if best < 0 {
+			return false
+		}
+		eliminate(c, best)
+	}
+
+	s.tableau = W
+	s.beta = rhs
+	s.basis = newBasis
+	s.refactorizations++
+	return true
+}

@@ -1,14 +1,28 @@
-// Package lp implements a bounded-variable primal simplex solver for linear
+// Package lp implements a bounded-variable simplex solver for linear
 // programs. It is the continuous-relaxation engine underneath the MILP
 // branch-and-bound solver in internal/milp, which together replace the
 // commercial Gurobi optimizer used by the paper.
 //
 // The solver handles general variable bounds (including free and fixed
 // variables), the three constraint senses, minimization objectives, and
-// reports optimal, infeasible, unbounded or iteration-limited outcomes. The
-// implementation is a revised simplex with a dense basis inverse and sparse
-// constraint columns, a phase-1 artificial-variable start, Dantzig pricing
-// with a Bland anti-cycling fallback, and periodic refactorization.
+// reports optimal, infeasible, unbounded or iteration-limited outcomes.
+//
+// Two algorithms share one tableau representation (a dense T = B⁻¹·A with an
+// incrementally maintained reduced-cost row and periodic refactorization):
+//
+//   - a primal simplex with a phase-1 artificial-variable start, used for
+//     cold solves;
+//   - a dual simplex that starts from an imported Basis (Options.WarmBasis),
+//     used by branch-and-bound to re-solve a child node from its parent's
+//     optimal basis after a single bound change, skipping phase 1 entirely.
+//
+// Pricing is pluggable through Options.Pivot (Dantzig, Bland, Devex); every
+// rule is deterministic, so the pivot sequence — and therefore the returned
+// vertex — is a pure function of (problem, options). At optimality the solver
+// additionally canonicalizes degenerate optima by a lexicographic descent
+// over zero-reduced-cost directions and refactorizes the final basis from the
+// raw problem data, so warm- and cold-started solves of the same problem
+// agree not just on the objective but on the solution vector itself.
 package lp
 
 import (
@@ -181,10 +195,22 @@ func (s Status) String() string {
 
 // Solution is the result of an LP solve.
 type Solution struct {
-	Status     Status
-	Objective  float64
-	X          []float64 // one value per problem variable
+	Status    Status
+	Objective float64
+	X         []float64 // one value per problem variable
+	// Iterations is the simplex pivot count across all phases (primal,
+	// dual and the canonicalization pass).
 	Iterations int
+	// Refactorizations counts full rebuilds of the tableau from the raw
+	// problem data: one per accepted warm basis, one at optimality.
+	Refactorizations int
+	// WarmStarted reports whether Options.WarmBasis was accepted and the
+	// solve ran the dual simplex from it instead of a phase-1 cold start.
+	WarmStarted bool
+	// Basis is the optimal basis, exportable into Options.WarmBasis of a
+	// subsequent solve with modified bounds. It is nil unless the status is
+	// StatusOptimal and the final basis is free of artificial columns.
+	Basis *Basis
 }
 
 // Value returns the solved value of variable v.
@@ -205,6 +231,15 @@ type Options struct {
 	// uses these to explore branches without copying the whole problem.
 	LowerOverride map[int]float64
 	UpperOverride map[int]float64
+	// Pivot selects the pricing rule of the primal simplex. The zero value
+	// is PivotDantzig.
+	Pivot PivotRule
+	// WarmBasis, when non-nil, is a basis exported by a previous solve of
+	// the same problem (typically with different bound overrides). If it is
+	// still dual-feasible under the new bounds the solve starts the dual
+	// simplex from it; otherwise the solver falls back to a cold primal
+	// solve. The basis is read-only to the solver.
+	WarmBasis *Basis
 }
 
 func (o Options) tolerance() float64 {

@@ -16,13 +16,16 @@ const (
 	inBasis
 )
 
-// simplex is the working state of one bounded-variable primal simplex solve.
-// It operates on a dense tableau T = B⁻¹·A with an incrementally maintained
-// reduced-cost row, which is simple, predictable and fast enough for the
-// model sizes produced by the progressive layout flow.
+// simplex is the working state of one bounded-variable simplex solve (primal
+// cold start or dual warm start). It operates on a dense tableau T = B⁻¹·A
+// with an incrementally maintained reduced-cost row, which is simple,
+// predictable and fast enough for the model sizes produced by the progressive
+// layout flow.
 type simplex struct {
 	m, n    int // constraint and total column counts (structural + slack + artificial)
 	nStruct int // structural variable count
+
+	prob *Problem // raw problem data, for refactorization
 
 	lower, upper []float64 // bounds per column
 	cost         []float64 // phase-2 cost per column
@@ -40,15 +43,23 @@ type simplex struct {
 	// running any pivots.
 	forcedInfeasible bool
 
-	artStart int // first artificial column index (== n when none)
+	artStart int       // first artificial column index (== n when none)
+	artRow   []int     // row of each artificial column
+	artSign  []float64 // raw-row coefficient of each artificial column
 
 	tol        float64
 	iterations int
 	maxIter    int
 	refresh    int
 
-	degenerate int  // consecutive degenerate pivots
-	useBland   bool // anti-cycling mode
+	rule   PivotRule // primal pricing rule
+	devexW []float64 // devex reference weights, lazily initialized
+
+	refactorizations int
+
+	degenerate  int  // consecutive degenerate pivots
+	useBland    bool // anti-cycling mode
+	lexPivoting bool // inside lexCanonicalize: ratio-test ties break by index
 
 	// ctx, when non-nil, is polled every few pivots; cancellation aborts the
 	// solve with StatusCancelled.
@@ -76,22 +87,69 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 // during pivoting and a cancelled or expired context yields a solution with
 // StatusCancelled. Solving the same problem with the same options under a
 // context that never fires is identical to Solve.
+//
+// When opts.WarmBasis is set and still dual-feasible under the (possibly
+// overridden) bounds, the solve runs the dual simplex from it; otherwise it
+// falls back to the cold primal path. Both paths finish an optimal solve the
+// same way — lexicographic canonicalization of the optimal vertex followed by
+// a deterministic refactorization — so the two report identical solutions.
 func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	s, err := newSimplex(p, opts)
-	if err != nil {
-		return nil, err
+	var s *simplex
+	var status Status
+	warm := false
+	if opts.WarmBasis != nil {
+		ws, err := newSimplexBase(p, opts)
+		if err != nil {
+			return nil, err
+		}
+		if ws.forcedInfeasible {
+			s, status = ws, StatusInfeasible
+		} else if ws.installBasis(opts.WarmBasis) {
+			if ctx != nil && ctx.Done() != nil {
+				ws.ctx = ctx
+			}
+			s, warm = ws, true
+			status = s.runDual()
+			if status == StatusOptimal {
+				// Polish: a dual-optimal basis is primal-optimal up to
+				// tolerance; the primal loop confirms (usually zero pivots).
+				status = s.iterate()
+			}
+		}
 	}
-	if ctx != nil && ctx.Done() != nil {
-		s.ctx = ctx
+	if s == nil {
+		var err error
+		s, err = newSimplex(p, opts)
+		if err != nil {
+			return nil, err
+		}
+		if ctx != nil && ctx.Done() != nil {
+			s.ctx = ctx
+		}
+		status = s.run()
 	}
-	status := s.run()
+	if status == StatusOptimal && !s.forcedInfeasible {
+		// Refactorize before canonicalizing so every descent decision reads
+		// a tableau that is a pure function of the basic set rather than of
+		// the pivot path that reached it, then again after so the reported
+		// basic values are equally path-free.
+		s.refactorize()
+		s.computeReducedCosts()
+		s.lexCanonicalize()
+		s.refactorize()
+	}
 	sol := &Solution{
-		Status:     status,
-		X:          s.extract(),
-		Iterations: s.iterations,
+		Status:           status,
+		X:                s.extract(),
+		Iterations:       s.iterations,
+		Refactorizations: s.refactorizations,
+		WarmStarted:      warm,
+	}
+	if status == StatusOptimal && !s.forcedInfeasible {
+		sol.Basis = s.exportBasis()
 	}
 	if status == StatusOptimal || status == StatusIterLimit || status == StatusCancelled {
 		obj := 0.0
@@ -105,17 +163,20 @@ func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Solution, error) 
 	return sol, nil
 }
 
-// newSimplex loads the problem into solver form: one slack column per
-// constraint and, where the all-slack start is infeasible, one artificial
-// column whose phase-1 cost is 1.
-func newSimplex(p *Problem, opts Options) (*simplex, error) {
+// newSimplexBase loads the shared solver form — bounds, costs and the raw
+// tableau rows with one slack column per constraint — without committing to a
+// starting basis. The cold constructor adds the phase-1 artificial start on
+// top; the warm path installs an imported basis instead.
+func newSimplexBase(p *Problem, opts Options) (*simplex, error) {
 	m := len(p.Constraints)
 	nStruct := len(p.Variables)
 	s := &simplex{
 		m:       m,
 		nStruct: nStruct,
+		prob:    p,
 		tol:     opts.tolerance(),
 		refresh: opts.refactorEvery(),
+		rule:    opts.Pivot,
 	}
 	s.maxIter = opts.maxIterations(m, nStruct)
 
@@ -160,23 +221,30 @@ func newSimplex(p *Problem, opts Options) (*simplex, error) {
 		}
 	}
 	s.n = total
+	s.artStart = total
 
 	// Dense tableau rows: structural coefficients plus the +1 slack.
 	s.tableau = make([][]float64, m)
 	for i := range s.tableau {
 		s.tableau[i] = make([]float64, total, total+m)
+		s.rawRow(i, s.tableau[i])
 	}
-	for i, c := range p.Constraints {
-		row := s.tableau[i]
-		for _, e := range c.Row {
-			row[e.Var] += e.Coef
-		}
-		row[nStruct+i] = 1
+	s.status = make([]varStatus, total, total+m)
+	return s, nil
+}
+
+// newSimplex builds the cold-start solver: nonbasic structural variables park
+// at a bound, the slack basis covers what it can, and artificial columns with
+// phase-1 cost 1 cover the rest.
+func newSimplex(p *Problem, opts Options) (*simplex, error) {
+	s, err := newSimplexBase(p, opts)
+	if err != nil || s.forcedInfeasible {
+		return s, err
 	}
+	m, nStruct := s.m, s.nStruct
 
 	// Nonbasic structural variables start at the finite bound closest to
 	// zero; free variables start at zero.
-	s.status = make([]varStatus, total, total+m)
 	for j := 0; j < nStruct; j++ {
 		s.status[j] = initialStatus(s.lower[j], s.upper[j])
 	}
@@ -193,7 +261,6 @@ func newSimplex(p *Problem, opts Options) (*simplex, error) {
 	}
 	s.basis = make([]int, m)
 	s.beta = make([]float64, m)
-	s.artStart = total
 	for i := 0; i < m; i++ {
 		j := nStruct + i
 		need := rhs[i]
@@ -247,6 +314,8 @@ func (s *simplex) addArtificial(i int, sgn float64) int {
 	s.upper = append(s.upper, Infinity)
 	s.cost = append(s.cost, 0)
 	s.status = append(s.status, atLower)
+	s.artRow = append(s.artRow, i)
+	s.artSign = append(s.artSign, sgn)
 	for r := range s.tableau {
 		v := 0.0
 		if r == i {

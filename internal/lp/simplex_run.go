@@ -158,9 +158,16 @@ func (s *simplex) iterate() Status {
 
 // chooseEntering returns the entering column and its movement direction
 // (+1 increase, −1 decrease), or (-1, 0) when the current basis is optimal.
+// The configured pivot rule scores the eligible columns; anti-cycling mode
+// overrides it with Bland's rule.
 func (s *simplex) chooseEntering() (int, float64) {
+	useBland := s.useBland || s.rule == PivotBland
+	var devexW []float64
+	if !useBland && s.rule == PivotDevex {
+		devexW = s.devexWeights()
+	}
 	best := -1
-	bestScore := s.tol
+	bestScore := 0.0
 	bestDir := 0.0
 	for j := 0; j < s.n; j++ {
 		st := s.status[j]
@@ -191,9 +198,12 @@ func (s *simplex) chooseEntering() (int, float64) {
 		if dir == 0 {
 			continue
 		}
-		if s.useBland {
+		if useBland {
 			// Bland's rule: first eligible index.
 			return j, dir
+		}
+		if devexW != nil {
+			score = score * score / devexW[j]
 		}
 		if score > bestScore {
 			bestScore = score
@@ -252,8 +262,17 @@ func (s *simplex) ratioTest(enter int, dir float64) (leaveRow int, bound varStat
 			leaveRow = i
 			bound = hit
 		} else if leaveRow >= 0 && math.Abs(limit-step) <= 1e-12 {
-			// Tie-break on the larger pivot element for numerical stability.
-			if math.Abs(a) > math.Abs(s.tableau[leaveRow][enter]) {
+			if s.lexPivoting {
+				// Bland's leaving rule: the lowest basic column index among
+				// tied rows, so the canonicalization pass cannot cycle
+				// through the bases of a degenerate vertex.
+				if b < s.basis[leaveRow] {
+					leaveRow = i
+					bound = hit
+				}
+			} else if math.Abs(a) > math.Abs(s.tableau[leaveRow][enter]) {
+				// Tie-break on the larger pivot element for numerical
+				// stability.
 				leaveRow = i
 				bound = hit
 			}
@@ -335,6 +354,9 @@ func (s *simplex) pivot(enter int, dir float64, leaveRow int, bound varStatus, s
 		}
 	}
 	s.reduced[enter] = 0
+	if s.rule == PivotDevex {
+		s.updateDevexWeights(enter, leaving, prow, inv)
+	}
 
 	// Book-keeping: statuses, basis, values.
 	s.basis[leaveRow] = enter

@@ -69,7 +69,14 @@ type SolveOptions struct {
 	IntTol float64
 	// WarmStart, when non-nil and feasible, seeds the incumbent.
 	WarmStart []float64
-	// LPOptions are passed to every LP relaxation solve.
+	// DisableWarmLP turns off basis reuse between parent and child nodes:
+	// every node LP cold-starts from phase 1, as the solver did before warm
+	// starts existed. The search path and result are identical either way
+	// (the LP layer guarantees warm and cold solves agree); the switch
+	// exists for benchmarking and as an escape hatch.
+	DisableWarmLP bool
+	// LPOptions are passed to every LP relaxation solve. The pivot rule set
+	// here applies to all of them.
 	LPOptions lp.Options
 	// Logf, when non-nil, receives progress messages.
 	Logf func(format string, args ...interface{})
@@ -103,6 +110,64 @@ func (o SolveOptions) workers() int {
 	return 1
 }
 
+// LPStats aggregates linear-programming effort across a branch-and-bound
+// search. Counters only accumulate for the nodes the deterministic sequential
+// order actually processes (speculative LPs of nodes pruned mid-batch under
+// eager parallel evaluation are excluded), so the totals are identical at
+// every worker count.
+type LPStats struct {
+	// Pivots is the total simplex iteration count across all node LPs.
+	Pivots int
+	// Refactorizations counts tableau rebuilds from the raw problem data
+	// (one per accepted warm basis, one per optimal solve).
+	Refactorizations int
+	// WarmHits and WarmMisses split the node LPs that were offered a parent
+	// basis into accepted (dual simplex) and rejected (cold fallback) ones.
+	WarmHits   int
+	WarmMisses int
+	// ColdSolves counts node LPs with no basis to offer: the root, children
+	// of nodes whose optimal basis was not exportable, and every node when
+	// DisableWarmLP is set.
+	ColdSolves int
+}
+
+// Add accumulates other into s.
+func (s *LPStats) Add(other LPStats) {
+	s.Pivots += other.Pivots
+	s.Refactorizations += other.Refactorizations
+	s.WarmHits += other.WarmHits
+	s.WarmMisses += other.WarmMisses
+	s.ColdSolves += other.ColdSolves
+}
+
+// Solves is the total number of node LPs counted.
+func (s LPStats) Solves() int { return s.WarmHits + s.WarmMisses + s.ColdSolves }
+
+// WarmHitRate is the fraction of offered bases that were accepted (0 when
+// none were offered).
+func (s LPStats) WarmHitRate() float64 {
+	offered := s.WarmHits + s.WarmMisses
+	if offered == 0 {
+		return 0
+	}
+	return float64(s.WarmHits) / float64(offered)
+}
+
+// count folds one node LP solution into the stats; warmOffered reports
+// whether a parent basis was passed to the solve.
+func (s *LPStats) count(sol *lp.Solution, warmOffered bool) {
+	s.Pivots += sol.Iterations
+	s.Refactorizations += sol.Refactorizations
+	switch {
+	case sol.WarmStarted:
+		s.WarmHits++
+	case warmOffered:
+		s.WarmMisses++
+	default:
+		s.ColdSolves++
+	}
+}
+
 // Result is the outcome of Model.Solve.
 type Result struct {
 	Status    Status
@@ -111,6 +176,14 @@ type Result struct {
 	X         []float64 // incumbent assignment (nil when none)
 	Nodes     int
 	Runtime   time.Duration
+	// LP aggregates the LP-solver effort across all node relaxations,
+	// including the root dive heuristic.
+	LP LPStats
+	// WarmSeedAccepted / WarmSeedRejected report the fate of the WarmStart
+	// incumbent seed: 1/0 when it passed the feasibility check, 0/1 when it
+	// was rejected, 0/0 when no seed was given.
+	WarmSeedAccepted int
+	WarmSeedRejected int
 }
 
 // Gap returns the relative gap between incumbent and bound (0 when proven
@@ -154,6 +227,28 @@ func (r *Result) betterIncumbent(obj float64, x []float64) bool {
 	return lexLess(x, r.X)
 }
 
+// mostFractional returns the integer variable whose relaxation value is
+// farthest from integral, or −1 when every one is within tol of an integer.
+// Fractions within 1e-9 of the running maximum count as ties and the earlier
+// variable keeps the slot: equally fractional variables are common in
+// symmetric layout models, where their computed fractions agree only up to
+// floating-point noise, and a strict comparison would let that noise pick the
+// branching variable — making the search shape depend on the pivot path of
+// the node LPs rather than on the model.
+func mostFractional(x []float64, integers []int, tol float64) int {
+	const tieTol = 1e-9
+	branchVar := -1
+	worst := tol
+	for _, j := range integers {
+		frac := math.Abs(x[j] - math.Round(x[j]))
+		if frac > worst+tieTol || (branchVar < 0 && frac > worst) {
+			worst = frac
+			branchVar = j
+		}
+	}
+	return branchVar
+}
+
 // lexLess is a strict lexicographic order on solution vectors.
 func lexLess(a, b []float64) bool {
 	n := len(a)
@@ -175,6 +270,10 @@ type node struct {
 	upper map[int]float64
 	bound float64 // parent LP objective: a valid lower bound for this node
 	depth int
+	// basis is the parent's optimal LP basis (shared, read-only): the child
+	// differs by one bound, so it is usually still dual-feasible and the LP
+	// warm-starts from it. Nil means a cold solve.
+	basis *lp.Basis
 }
 
 // nodeQueue is a best-bound priority queue of open nodes.
@@ -245,8 +344,10 @@ func (m *Model) SolveCtx(ctx context.Context, opts SolveOptions) (*Result, error
 			res.X = x
 			res.Objective = m.Objective(x)
 			res.Status = StatusFeasible
+			res.WarmSeedAccepted = 1
 			logf("milp: warm start accepted, objective %.6g", res.Objective)
 		} else {
+			res.WarmSeedRejected = 1
 			logf("milp: warm start rejected: %s", why)
 		}
 	}
@@ -305,6 +406,9 @@ search:
 			lpOpts := opts.LPOptions
 			lpOpts.LowerOverride = batch[i].lower
 			lpOpts.UpperOverride = batch[i].upper
+			if !opts.DisableWarmLP {
+				lpOpts.WarmBasis = batch[i].basis
+			}
 			sols[i], errs[i] = lp.SolveCtx(ctx, prob, lpOpts)
 		}
 		// With more than one worker the whole batch is evaluated eagerly by a
@@ -346,6 +450,7 @@ search:
 				timedOut = true
 				break search
 			}
+			res.LP.count(sol, !opts.DisableWarmLP && nd.basis != nil)
 			switch sol.Status {
 			case lp.StatusCancelled:
 				for _, rest := range batch[i+1:] {
@@ -384,7 +489,7 @@ search:
 				// produce integral relaxations, so pure best-bound search can
 				// wander for a long time without this.
 				if res.X == nil {
-					if x, obj, ok := m.dive(ctx, prob, opts, nd, sol.X, integers); ok {
+					if x, obj, ok := m.dive(ctx, prob, opts, res, nd, sol, integers); ok {
 						res.X = x
 						res.Objective = obj
 						res.Status = StatusFeasible
@@ -398,16 +503,7 @@ search:
 			}
 
 			// Find the most fractional integer variable.
-			branchVar := -1
-			worstFrac := intTol
-			for _, j := range integers {
-				v := sol.X[j]
-				frac := math.Abs(v - math.Round(v))
-				if frac > worstFrac {
-					worstFrac = frac
-					branchVar = j
-				}
-			}
+			branchVar := mostFractional(sol.X, integers, intTol)
 
 			if branchVar < 0 {
 				// Integer feasible: candidate incumbent.
@@ -439,15 +535,18 @@ search:
 				}
 			}
 
-			// Branch.
+			// Branch. Both children start from this node's optimal basis: the
+			// single changed bound usually leaves it dual-feasible, so the
+			// child LP re-solves with a handful of dual pivots instead of a
+			// phase-1 cold start.
 			val := sol.X[branchVar]
 			down := &node{
 				lower: nd.lower, upper: copyWith(nd.upper, branchVar, math.Floor(val)),
-				bound: lpObj, depth: nd.depth + 1,
+				bound: lpObj, depth: nd.depth + 1, basis: sol.Basis,
 			}
 			up := &node{
 				lower: copyWith(nd.lower, branchVar, math.Ceil(val)), upper: nd.upper,
-				bound: lpObj, depth: nd.depth + 1,
+				bound: lpObj, depth: nd.depth + 1, basis: sol.Basis,
 			}
 			heap.Push(open, down)
 			heap.Push(open, up)
@@ -496,24 +595,20 @@ search:
 // fixes the most fractional integer variable to its rounded value (flipping
 // to the opposite value when that makes the LP infeasible) until the
 // relaxation is integral or the dive fails. It returns the incumbent found.
-func (m *Model) dive(ctx context.Context, prob *lp.Problem, opts SolveOptions, nd *node, rootX []float64, integers []int) ([]float64, float64, bool) {
+// Each step warm-starts from the basis of the previous one (the fix is a
+// bound change, same shape as a branch); the dive runs sequentially inside
+// the root node, so its LP stats fold into res deterministically.
+func (m *Model) dive(ctx context.Context, prob *lp.Problem, opts SolveOptions, res *Result, nd *node, rootSol *lp.Solution, integers []int) ([]float64, float64, bool) {
 	intTol := opts.intTol()
 	lower := copyMap(nd.lower)
 	upper := copyMap(nd.upper)
-	x := rootX
+	x := rootSol.X
+	basis := rootSol.Basis
 	for iter := 0; iter <= len(integers)+4; iter++ {
 		if ctx.Err() != nil {
 			return nil, 0, false
 		}
-		branchVar := -1
-		worst := intTol
-		for _, j := range integers {
-			frac := math.Abs(x[j] - math.Round(x[j]))
-			if frac > worst {
-				worst = frac
-				branchVar = j
-			}
-		}
+		branchVar := mostFractional(x, integers, intTol)
 		if branchVar < 0 {
 			// Integral: verify against the full model and return.
 			rounded := make([]float64, len(x))
@@ -545,12 +640,20 @@ func (m *Model) dive(ctx context.Context, prob *lp.Problem, opts SolveOptions, n
 			lpOpts := opts.LPOptions
 			lpOpts.LowerOverride = trialLower
 			lpOpts.UpperOverride = trialUpper
+			if !opts.DisableWarmLP {
+				lpOpts.WarmBasis = basis
+			}
 			sol, err := lp.SolveCtx(ctx, prob, lpOpts)
-			if err != nil || sol.Status != lp.StatusOptimal {
+			if err != nil {
+				continue
+			}
+			res.LP.count(sol, lpOpts.WarmBasis != nil)
+			if sol.Status != lp.StatusOptimal {
 				continue
 			}
 			lower, upper = trialLower, trialUpper
 			x = sol.X
+			basis = sol.Basis
 			fixed = true
 			break
 		}

@@ -12,6 +12,7 @@ import (
 	"rficlayout/internal/geom"
 	"rficlayout/internal/ilpmodel"
 	"rficlayout/internal/layout"
+	"rficlayout/internal/lp"
 	"rficlayout/internal/milp"
 	"rficlayout/internal/netlist"
 )
@@ -35,12 +36,22 @@ type Options struct {
 	// PhaseTimeLimit bounds the global adjustment solve of phase 1. Zero
 	// means 30 s. Like StripTimeLimit it derives a context deadline.
 	PhaseTimeLimit time.Duration
+	// StripNodeLimit, when positive, bounds each per-strip branch-and-bound
+	// search by explored node count instead of only wall clock. Nodes are
+	// processed in a deterministic order at every worker count, so a binding
+	// node budget cuts the search at a path-independent point — unlike a
+	// binding time limit, which cuts at a wall-clock-dependent one. This is
+	// what lets benchmark harnesses run circuits whose strip solves do not
+	// converge while keeping the byte-identical determinism contract.
+	StripNodeLimit int
 	// Workers bounds the worker pool that solves independent per-strip (and
 	// per-rotation) subproblems concurrently. Zero means GOMAXPROCS; one
 	// disables concurrency. The flow is deterministic: every worker count
 	// produces the identical layout (see GenerateCtx).
 	Workers int
-	// MaxRefineIterations bounds phase 3. Zero means 3.
+	// MaxRefineIterations bounds phase 3. Zero means 3; a negative value
+	// skips refinement entirely — benchmark harnesses use that to keep the
+	// workload to phases whose solves converge deterministically.
 	MaxRefineIterations int
 	// TryRotations enables device-rotation exploration in phase 3.
 	TryRotations bool
@@ -64,6 +75,19 @@ type Options struct {
 	// boundary-strip endpoint and its pin) above which the owning shard is
 	// re-solved in the next coordination round. Zero means 2 µm.
 	ShardBoundaryTol geom.Coord
+	// PivotRule selects the simplex pricing rule for every LP solved by the
+	// flow's branch-and-bound trees (see lp.PivotRule); the zero value is
+	// Dantzig. The LP layer canonicalizes optimal vertices, so the rule does
+	// not change the layout — but it does change the pivot path and thus the
+	// effort counters, so it joins the Fingerprint conservatively rather
+	// than relying on that invariant.
+	PivotRule lp.PivotRule
+	// ColdLP disables warm-started LP re-solves inside branch-and-bound:
+	// every node LP solves from scratch instead of reusing its parent's
+	// basis. The layout is identical either way (the determinism contract
+	// covers warm starts); the flag exists so harnesses (rficbench
+	// -lp-compare) can measure the warm-start saving.
+	ColdLP bool
 	// Logf, when non-nil, receives progress messages. With Workers > 1 it may
 	// be called from concurrent solver goroutines and must be safe for that
 	// (testing.T.Logf and log.Printf both are).
@@ -74,6 +98,8 @@ type Options struct {
 	// along as Options is copied down the call tree, and concurrent strip
 	// solvers add to it atomically.
 	nodes *atomic.Int64
+	// lpStats accumulates the simplex-level effort counters the same way.
+	lpStats *lpCounters
 }
 
 func (o Options) chainPoints() int {
@@ -119,6 +145,9 @@ func (o Options) phaseTimeLimit() time.Duration {
 }
 
 func (o Options) refineIterations() int {
+	if o.MaxRefineIterations < 0 {
+		return 0
+	}
 	if o.MaxRefineIterations > 0 {
 		return o.MaxRefineIterations
 	}
@@ -152,13 +181,80 @@ func (o Options) logf(format string, args ...interface{}) {
 	}
 }
 
-// countNodes adds one MILP solve's node count to the flow-wide total. The
-// total is deterministic: the set of solves and each solve's node count are
-// fixed by the determinism contract (absent binding time limits), and
-// summation commutes, so concurrent workers cannot change it.
-func (o Options) countNodes(n int) {
+// countSolve adds one MILP solve's effort — its node count and its LP-level
+// counters — to the flow-wide totals. The totals are deterministic: the set
+// of solves and each solve's counters are fixed by the determinism contract
+// (absent binding time limits), and summation commutes, so concurrent
+// workers cannot change them.
+func (o Options) countSolve(r *milp.Result) {
+	if r == nil {
+		return
+	}
 	if o.nodes != nil {
-		o.nodes.Add(int64(n))
+		o.nodes.Add(int64(r.Nodes))
+	}
+	if o.lpStats != nil {
+		o.lpStats.add(r)
+	}
+}
+
+// LPStats aggregates the simplex-level effort of every MILP solve in one
+// flow invocation — the LP-pivot counterpart to the branch-and-bound Nodes
+// total. Like Nodes, every field is deterministic across worker counts.
+type LPStats struct {
+	milp.LPStats
+	// WarmSeedAccepted and WarmSeedRejected count branch-and-bound warm-seed
+	// outcomes (milp.Result.WarmSeedAccepted/Rejected) across the solves.
+	WarmSeedAccepted int
+	WarmSeedRejected int
+}
+
+// lpCounters is the atomic accumulator behind LPStats, shared down the call
+// tree the same way Options.nodes is.
+type lpCounters struct {
+	pivots           atomic.Int64
+	refactorizations atomic.Int64
+	warmHits         atomic.Int64
+	warmMisses       atomic.Int64
+	coldSolves       atomic.Int64
+	seedAccepted     atomic.Int64
+	seedRejected     atomic.Int64
+}
+
+func (c *lpCounters) add(r *milp.Result) {
+	c.pivots.Add(int64(r.LP.Pivots))
+	c.refactorizations.Add(int64(r.LP.Refactorizations))
+	c.warmHits.Add(int64(r.LP.WarmHits))
+	c.warmMisses.Add(int64(r.LP.WarmMisses))
+	c.coldSolves.Add(int64(r.LP.ColdSolves))
+	c.seedAccepted.Add(int64(r.WarmSeedAccepted))
+	c.seedRejected.Add(int64(r.WarmSeedRejected))
+}
+
+func (c *lpCounters) snapshot() LPStats {
+	return LPStats{
+		LPStats: milp.LPStats{
+			Pivots:           int(c.pivots.Load()),
+			Refactorizations: int(c.refactorizations.Load()),
+			WarmHits:         int(c.warmHits.Load()),
+			WarmMisses:       int(c.warmMisses.Load()),
+			ColdSolves:       int(c.coldSolves.Load()),
+		},
+		WarmSeedAccepted: int(c.seedAccepted.Load()),
+		WarmSeedRejected: int(c.seedRejected.Load()),
+	}
+}
+
+// milpOptions is the shared translation from flow options to one MILP
+// solve's options: the pivot rule and the warm-LP switch apply to every
+// branch-and-bound tree the flow spawns, whatever its time limit or worker
+// count.
+func (o Options) milpOptions(timeLimit time.Duration, workers int) milp.SolveOptions {
+	return milp.SolveOptions{
+		TimeLimit:     timeLimit,
+		Workers:       workers,
+		LPOptions:     lp.Options{Pivot: o.PivotRule},
+		DisableWarmLP: o.ColdLP,
 	}
 }
 
@@ -167,13 +263,16 @@ func (o Options) countNodes(n int) {
 // defaults — two Options with equal fingerprints produce byte-identical
 // layouts for the same circuit. Workers and Logf are excluded (the
 // determinism contract makes them output-invariant); the time limits are
-// included because a binding limit changes the result. The result cache
-// hashes this string alongside the canonical circuit text.
+// included because a binding limit changes the result. PivotRule and ColdLP
+// are included conservatively: the LP layer's vertex canonicalization makes
+// them layout-invariant, but the cache never conflates them — they change
+// the reported effort counters, and defence in depth is cheap here. The
+// result cache hashes this string alongside the canonical circuit text.
 func (o Options) Fingerprint() string {
-	return fmt.Sprintf("chain=%d maxchain=%d conf=%d pair=%d striplimit=%s phaselimit=%s refine=%d rot=%v shard=%d sharditer=%d shardtol=%d",
+	return fmt.Sprintf("chain=%d maxchain=%d conf=%d pair=%d striplimit=%s phaselimit=%s stripnodes=%d refine=%d rot=%v shard=%d sharditer=%d shardtol=%d pivot=%s coldlp=%v",
 		o.chainPoints(), o.maxChainPoints(), o.confinement(), o.pairRadius(),
-		o.stripTimeLimit(), o.phaseTimeLimit(), o.refineIterations(), o.TryRotations,
-		o.ShardSize, o.shardIterations(), o.shardBoundaryTol())
+		o.stripTimeLimit(), o.phaseTimeLimit(), o.StripNodeLimit, o.refineIterations(), o.TryRotations,
+		o.ShardSize, o.shardIterations(), o.shardBoundaryTol(), o.PivotRule, o.ColdLP)
 }
 
 // runJobs dispatches independent subproblems to the shared bounded pool:
@@ -203,6 +302,9 @@ type Result struct {
 	// every MILP solve of the flow — the solver-effort counterpart to the
 	// wall-clock Runtime.
 	Nodes int
+	// LP aggregates the simplex-level effort counters (pivots,
+	// refactorizations, warm-start outcomes) across the same solves.
+	LP LPStats
 	// Shards reports the per-cluster sub-solves of the sharded phase-1
 	// adjustment, in cluster order. Nil when phase 1 ran monolithically
 	// (ShardSize zero or the circuit below the shard threshold).
@@ -270,6 +372,7 @@ func GenerateCtx(ctx context.Context, c *netlist.Circuit, opts Options) (*Result
 	// layouts.
 	c = netlist.Normalized(c)
 	opts.nodes = new(atomic.Int64)
+	opts.lpStats = new(lpCounters)
 	res := &Result{}
 
 	// Phase 1a: constructive placement and planar routing with blurred
@@ -318,6 +421,7 @@ func GenerateCtx(ctx context.Context, c *netlist.Circuit, opts Options) (*Result
 	res.Layout = current
 	res.Runtime = time.Since(start)
 	res.Nodes = int(opts.nodes.Load())
+	res.LP = opts.lpStats.snapshot()
 	return res, nil
 }
 
@@ -352,13 +456,8 @@ func globalAdjust(ctx context.Context, c *netlist.Circuit, current *layout.Layou
 		return nil, err
 	}
 	opts.logf("pilp: global adjustment model: %s", m.Stats())
-	lay, result, err := m.SolveAndExtractCtx(ctx, milp.SolveOptions{
-		TimeLimit: opts.phaseTimeLimit(),
-		Workers:   opts.workers(),
-	})
-	if result != nil {
-		opts.countNodes(result.Nodes)
-	}
+	lay, result, err := m.SolveAndExtractCtx(ctx, opts.milpOptions(opts.phaseTimeLimit(), opts.workers()))
+	opts.countSolve(result)
 	if err != nil {
 		return nil, err
 	}
@@ -591,10 +690,10 @@ func solveStrips(ctx context.Context, c *netlist.Circuit, current *layout.Layout
 		opts.logf("pilp: model build for %v failed: %v", strips, err)
 		return nil, false
 	}
-	lay, result, err := m.SolveAndExtractCtx(ctx, milp.SolveOptions{TimeLimit: opts.stripTimeLimit()})
-	if result != nil {
-		opts.countNodes(result.Nodes)
-	}
+	mo := opts.milpOptions(opts.stripTimeLimit(), 0)
+	mo.MaxNodes = opts.StripNodeLimit
+	lay, result, err := m.SolveAndExtractCtx(ctx, mo)
+	opts.countSolve(result)
 	if err != nil || lay == nil {
 		return nil, false
 	}

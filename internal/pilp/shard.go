@@ -9,7 +9,6 @@ import (
 	"rficlayout/internal/geom"
 	"rficlayout/internal/ilpmodel"
 	"rficlayout/internal/layout"
-	"rficlayout/internal/milp"
 	"rficlayout/internal/netlist"
 	"rficlayout/internal/partition"
 )
@@ -42,7 +41,10 @@ type Phase1Result struct {
 	// ran monolithically.
 	Shards []ShardStat
 	// Nodes is the branch-and-bound node total across the phase's solves.
-	Nodes   int
+	Nodes int
+	// LP aggregates the simplex-level effort counters across the same
+	// solves (see LPStats).
+	LP      LPStats
 	Runtime time.Duration
 }
 
@@ -59,6 +61,7 @@ func AdjustPhase1(ctx context.Context, c *netlist.Circuit, opts Options) (*Phase
 	}
 	c = netlist.Normalized(c)
 	opts.nodes = new(atomic.Int64)
+	opts.lpStats = new(lpCounters)
 	current, err := Construct(c)
 	if err != nil {
 		return nil, err
@@ -74,6 +77,7 @@ func AdjustPhase1(ctx context.Context, c *netlist.Circuit, opts Options) (*Phase
 		Layout:  current,
 		Shards:  shards,
 		Nodes:   int(opts.nodes.Load()),
+		LP:      opts.lpStats.snapshot(),
 		Runtime: time.Since(start),
 	}, nil
 }
@@ -229,14 +233,11 @@ func solveShard(ctx context.Context, c *netlist.Circuit, frozen *layout.Layout, 
 		opts.logf("pilp: shard %d model build failed: %v", stat.Cluster, err)
 		return nil
 	}
-	lay, result, err := m.SolveAndExtractCtx(ctx, milp.SolveOptions{
-		TimeLimit: opts.phaseTimeLimit(),
-		Workers:   1,
-	})
+	lay, result, err := m.SolveAndExtractCtx(ctx, opts.milpOptions(opts.phaseTimeLimit(), 1))
 	if result != nil {
 		stat.Nodes += result.Nodes
-		opts.countNodes(result.Nodes)
 	}
+	opts.countSolve(result)
 	if err != nil || lay == nil {
 		opts.logf("pilp: shard %d found no solution: %v", stat.Cluster, err)
 		return nil

@@ -142,6 +142,12 @@ type Server struct {
 	coalesced   atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+
+	// Simplex-effort totals across every solve this server ran (cache hits
+	// excluded: they spent no pivots here); exposed on /healthz.
+	lpPivots     atomic.Int64
+	lpWarmHits   atomic.Int64
+	lpColdSolves atomic.Int64
 }
 
 // New creates a Server and starts its worker pool.
@@ -245,11 +251,16 @@ func (s *Server) runJob(j *job) {
 			Runtime: res.Runtime,
 			Nodes:   res.Nodes,
 			Shards:  len(res.Shards),
+			LP:      res.LP,
 		})
 	}
+	s.lpPivots.Add(int64(res.LP.Pivots))
+	s.lpWarmHits.Add(int64(res.LP.WarmHits))
+	s.lpColdSolves.Add(int64(res.LP.ColdSolves))
 	stats := buildStats(j.circuit, res.Result.Layout, res.Runtime, res.Nodes)
 	stats.ShardCount = len(res.Shards)
 	stats.Shards = shardStatsJSON(res.Shards)
+	stats.LP = lpStats(res.LP)
 	resp := &solveResponse{
 		ID:      j.id,
 		Circuit: j.circuit.Name,
@@ -392,6 +403,37 @@ type solveStats struct {
 	// count (the per-shard breakdown is not persisted).
 	ShardCount int             `json:"shard_count,omitempty"`
 	Shards     []shardStatJSON `json:"shards,omitempty"`
+	// LP reports the simplex-level effort of the solve; absent for cache
+	// entries written before the counters existed.
+	LP *lpStatsJSON `json:"lp,omitempty"`
+}
+
+// lpStatsJSON is the wire form of pilp.LPStats.
+type lpStatsJSON struct {
+	Pivots           int     `json:"pivots"`
+	Refactorizations int     `json:"refactorizations"`
+	WarmHits         int     `json:"warm_hits"`
+	WarmMisses       int     `json:"warm_misses"`
+	ColdSolves       int     `json:"cold_solves"`
+	WarmHitRate      float64 `json:"warm_hit_rate"`
+	WarmSeedAccepted int     `json:"warm_seed_accepted,omitempty"`
+	WarmSeedRejected int     `json:"warm_seed_rejected,omitempty"`
+}
+
+func lpStats(s pilp.LPStats) *lpStatsJSON {
+	if s == (pilp.LPStats{}) {
+		return nil
+	}
+	return &lpStatsJSON{
+		Pivots:           s.Pivots,
+		Refactorizations: s.Refactorizations,
+		WarmHits:         s.WarmHits,
+		WarmMisses:       s.WarmMisses,
+		ColdSolves:       s.ColdSolves,
+		WarmHitRate:      s.WarmHitRate(),
+		WarmSeedAccepted: s.WarmSeedAccepted,
+		WarmSeedRejected: s.WarmSeedRejected,
+	}
 }
 
 // shardStatJSON is the wire form of one pilp.ShardStat.
@@ -622,6 +664,7 @@ func (s *Server) awaitJob(w http.ResponseWriter, r *http.Request, j *job, limit 
 func cachedResponse(c *netlist.Circuit, entry cache.Entry, l *layout.Layout) *solveResponse {
 	stats := buildStats(c, l, entry.Runtime, entry.Nodes)
 	stats.ShardCount = entry.Shards
+	stats.LP = lpStats(entry.LP)
 	return &solveResponse{
 		ID:       fmt.Sprintf("cached-%s", c.Name),
 		Circuit:  c.Name,
@@ -689,7 +732,12 @@ type healthResponse struct {
 	Coalesced     int64          `json:"coalesced"`
 	CacheHits     int64          `json:"cache_hits"`
 	CacheMisses   int64          `json:"cache_misses"`
-	Cache         *cache.Stats   `json:"cache,omitempty"`
+	// LPPivots, LPWarmHits and LPColdSolves total the simplex effort of
+	// every solve this server ran (cache hits excluded).
+	LPPivots     int64        `json:"lp_pivots"`
+	LPWarmHits   int64        `json:"lp_warm_hits"`
+	LPColdSolves int64        `json:"lp_cold_solves"`
+	Cache        *cache.Stats `json:"cache,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -710,6 +758,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Coalesced:     s.coalesced.Load(),
 		CacheHits:     s.cacheHits.Load(),
 		CacheMisses:   s.cacheMisses.Load(),
+		LPPivots:      s.lpPivots.Load(),
+		LPWarmHits:    s.lpWarmHits.Load(),
+		LPColdSolves:  s.lpColdSolves.Load(),
 	}
 	if sr, ok := s.cfg.Cache.(cache.StatsReader); ok {
 		st := sr.Stats()
