@@ -1,0 +1,165 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rficlayout/internal/audit"
+	"rficlayout/internal/circuits/fuzz"
+	"rficlayout/internal/netlist"
+)
+
+// fuzzRecord is one JSONL line of -fuzz output. Every field is a
+// deterministic function of (seed, budget, checks): wall-clock never appears,
+// so two runs with the same flags produce byte-identical files — the property
+// that lets CI diff fuzz output across replays and makes any divergence
+// itself a determinism failure.
+type fuzzRecord struct {
+	Seed    int64               `json:"seed"`
+	Circuit string              `json:"circuit"`
+	Profile fuzz.Profile        `json:"profile"`
+	Budget  int                 `json:"budget"`
+	Nodes   int                 `json:"nodes"`
+	Passed  bool                `json:"passed"`
+	Checks  []audit.CheckResult `json:"checks"`
+	// Fixture is the path of the minimized failing circuit, when one was
+	// written.
+	Fixture string `json:"fixture,omitempty"`
+	// Error reports a battery-level error (solver failure, cancellation) —
+	// distinct from a check failing.
+	Error string `json:"error,omitempty"`
+}
+
+// runFuzz drives the seeded fuzzer: for each seed in [seedBase, seedBase+count)
+// it generates a circuit, runs the metamorphic audit battery under
+// deterministic node budgets, appends one JSONL record to outPath (stdout if
+// empty), and on failure shrinks the circuit with the audit minimizer and
+// writes a committable .rfic fixture to fixtureDir. Returns false when any
+// seed failed.
+func runFuzz(ctx context.Context, seedBase int64, count, budget int, checksCSV, outPath, fixtureDir string) bool {
+	checks, err := parseChecks(checksCSV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rficbench:", err)
+		return false
+	}
+	out := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rficbench: -fuzz-out:", err)
+			return false
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+
+	opts := audit.Options{Solve: audit.DefaultSolveOptions(budget), Checks: checks}
+	ok := true
+	failures := 0
+	for i := 0; i < count; i++ {
+		seed := seedBase + int64(i)
+		c, profile := fuzz.Generate(seed)
+		rec := fuzzRecord{Seed: seed, Circuit: c.Name, Profile: profile, Budget: budget}
+		rep, err := audit.Run(ctx, c, opts)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "rficbench: fuzz interrupted:", ctx.Err())
+				return false
+			}
+			rec.Error = err.Error()
+			ok = false
+		default:
+			rec.Nodes = rep.Nodes
+			rec.Checks = rep.Results
+			rec.Passed = rep.Passed()
+			if !rec.Passed {
+				ok = false
+				failures++
+				fmt.Fprintf(os.Stderr, "rficbench: seed %d (%s/%s/%s): failing checks: %s\n",
+					seed, profile.Shape, profile.Aspect, profile.Lengths, checkNames(rep.Failed()))
+				if fixtureDir != "" {
+					rec.Fixture = minimizeFailure(ctx, c, rep, opts, fixtureDir, seed)
+				}
+			}
+		}
+		_ = enc.Encode(rec)
+	}
+	fmt.Fprintf(os.Stderr, "fuzz: %d circuit(s), %d failing\n", count, failures)
+	if ok {
+		fmt.Println("fuzz: OK")
+	}
+	return ok
+}
+
+// minimizeFailure shrinks a failing circuit while its failing checks keep
+// failing and writes the result as a replayable .rfic fixture. Returns the
+// fixture path, or "" when minimization could not produce one.
+func minimizeFailure(ctx context.Context, c *netlist.Circuit, rep *audit.Report, opts audit.Options, fixtureDir string, seed int64) string {
+	failing := make([]string, 0, len(rep.Failed()))
+	for _, f := range rep.Failed() {
+		failing = append(failing, f.Name)
+	}
+	mopts := opts
+	mopts.Checks = failing
+	pred := func(ctx context.Context, cand *netlist.Circuit) (string, bool) {
+		r, err := audit.Run(ctx, cand, mopts)
+		if err != nil {
+			return "", false
+		}
+		if f := r.Failed(); len(f) > 0 {
+			return f[0].Name + ": " + f[0].Detail, true
+		}
+		return "", false
+	}
+	res, err := audit.Minimize(ctx, c, pred)
+	if err != nil || res == nil {
+		fmt.Fprintf(os.Stderr, "rficbench: seed %d: minimization aborted: %v\n", seed, err)
+		return ""
+	}
+	path := filepath.Join(fixtureDir, fmt.Sprintf("fuzz%d.min.rfic", seed))
+	if err := audit.WriteFixture(path, res.Circuit); err != nil {
+		fmt.Fprintf(os.Stderr, "rficbench: seed %d: writing fixture: %v\n", seed, err)
+		return ""
+	}
+	fmt.Fprintf(os.Stderr, "rficbench: seed %d: minimized to %d device(s), %d strip(s) in %d step(s): %s (%s)\n",
+		seed, len(res.Circuit.Devices), len(res.Circuit.Microstrips), res.Steps, path, res.Detail)
+	return path
+}
+
+// parseChecks validates a comma-separated check subset against the battery's
+// known names. Empty means the full battery.
+func parseChecks(csv string) ([]string, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	known := map[string]bool{}
+	for _, name := range audit.AllChecks {
+		known[name] = true
+	}
+	var out []string
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("-fuzz-checks: unknown check %q (known: %s)", name, strings.Join(audit.AllChecks, ","))
+		}
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+func checkNames(results []audit.CheckResult) string {
+	names := make([]string, len(results))
+	for i, r := range results {
+		names[i] = r.Name
+	}
+	return strings.Join(names, ",")
+}

@@ -23,6 +23,17 @@
 // warm-start pivot reduction falls below -lp-min-speedup. CI runs this as
 // the pivot-regression guard.
 //
+// With -fuzz the harness generates -count seeded random circuits starting at
+// -seed-base (internal/circuits/fuzz: LNA/mixer/PA topologies across aspect,
+// strip-length and symmetry regimes) and runs the metamorphic audit battery
+// (internal/audit) on each under the deterministic node budget -budget. One
+// JSON line per seed goes to -fuzz-out; the records carry no wall-clock
+// fields, so two runs with the same flags are byte-identical — CI diffs them
+// as a determinism guard. A failing circuit is greedily minimized while its
+// failing checks keep failing and the result written to -fuzz-fixtures as a
+// committable .rfic fixture; the run then exits non-zero. CI runs a bounded
+// smoke sweep on every PR and a long scheduled sweep nightly.
+//
 // With -stats-out FILE every solved job appends one JSON line (circuit,
 // runtime, branch-and-bound nodes, shard count, simplex counters) to FILE,
 // building the perf-trajectory artifact CI archives run over run —
@@ -37,6 +48,7 @@
 //	rficbench -figure11b
 //	rficbench -shardguard -shard-size 6 -shard-tol 0.1
 //	rficbench -lp-compare -lp-circuit large -lp-phase1 -lp-min-speedup 1.5
+//	rficbench -fuzz -seed-base 1 -count 54 -budget 25 -fuzz-out fuzz.jsonl
 package main
 
 import (
@@ -80,6 +92,13 @@ func main() {
 	lpPhase1 := flag.Bool("lp-phase1", false, "restrict -lp-compare to the phase-1 adjustment (faster on big circuits)")
 	lpMinSpeedup := flag.Float64("lp-min-speedup", 1.0, "minimum warm-start pivot reduction (cold/warm) for the default rule in -lp-compare")
 	lpStripNodes := flag.Int("lp-strip-nodes", 25, "deterministic node budget per per-strip solve in -lp-compare (0 = unlimited); caps searches that would otherwise run into their wall-clock limit at a path-independent point")
+	fuzzMode := flag.Bool("fuzz", false, "run the seeded circuit fuzzer: generate circuits and run the metamorphic audit battery on each")
+	seedBase := flag.Int64("seed-base", 1, "first seed of the -fuzz sweep; seeds run contiguously from here")
+	fuzzCount := flag.Int("count", 54, "number of seeds in the -fuzz sweep (54 covers the whole topology matrix once)")
+	fuzzBudget := flag.Int("budget", 25, "deterministic branch-and-bound node budget per per-strip solve in -fuzz (phase 1 scales with it); node budgets, not wall clock, so results are byte-reproducible")
+	fuzzChecks := flag.String("fuzz-checks", "", "comma-separated subset of audit checks for -fuzz (empty = full battery)")
+	fuzzOut := flag.String("fuzz-out", "", "write one deterministic JSON line per fuzzed seed to this file (default stdout)")
+	fuzzFixtures := flag.String("fuzz-fixtures", "fuzz-failures", "directory for minimized failing-circuit fixtures from -fuzz (empty disables minimization)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -118,8 +137,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if !*table1 && !*figure7 && !*figure11a && !*figure11b && !*shardGuard && !*lpCompare {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -figure7, -figure11a, -figure11b, -shardguard or -lp-compare")
+	if *fuzzMode {
+		if !runFuzz(ctx, *seedBase, *fuzzCount, *fuzzBudget, *fuzzChecks, *fuzzOut, *fuzzFixtures) {
+			stats.Close()
+			os.Exit(1)
+		}
+	}
+	if !*table1 && !*figure7 && !*figure11a && !*figure11b && !*shardGuard && !*lpCompare && !*fuzzMode {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -figure7, -figure11a, -figure11b, -shardguard, -lp-compare or -fuzz")
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,517 @@
+package audit
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rficlayout/internal/geom"
+	"rficlayout/internal/layout"
+	"rficlayout/internal/netlist"
+	"rficlayout/internal/pilp"
+)
+
+// Check names, in battery order.
+const (
+	// CheckReorder: shuffling device/microstrip/pin declaration order must
+	// leave the canonical text and the solved layout byte-identical
+	// (canonicalization invariance).
+	CheckReorder = "reorder"
+	// CheckRename: renaming every object with an order-preserving mapping
+	// must reproduce the identical geometry under the new names.
+	CheckRename = "rename"
+	// CheckRescale: multiplying every length by an integer factor must
+	// reproduce the layout-quality metrics in the finer unit — equal
+	// violation counts (at equally rescaled tolerances), equal bend totals,
+	// and per-strip length errors that scale with the factor.
+	CheckRescale = "rescale"
+	// CheckMirror: negating every pin-offset X states the geometrically
+	// mirrored problem, whose optimal score equals the base problem's by
+	// symmetry. Two assertions: mirroring twice restores the byte-identical
+	// canonical netlist (the transform is a true involution), and the
+	// mirrored solve's score stays inside the mirror-ratio envelope of the
+	// base. The envelope is wide: the constructive phase orders and routes
+	// by coordinates, so mirroring flips every heuristic tie-break and at
+	// fuzz-scale node budgets several-fold violation swings are an observed
+	// property of the flow (a known chirality sensitivity, not a
+	// determinism bug) — the check guards against outright collapse.
+	CheckMirror = "mirror"
+	// CheckShardEnvelope: the sharded phase-1 adjustment must score within
+	// the stated envelope of the monolithic solve on the same circuit. The
+	// envelope is wide (50% plus one violation per boundary strip by
+	// default): a strip frozen against a stale snapshot can end the bounded
+	// coordination loop with unresolved drift, which the full flow's phase 2
+	// absorbs but phase 1 in isolation reports — on pathological fuzz
+	// circuits at small node budgets that drift is empirically a few
+	// violations. The tight 10% envelope lives in the CI shardguard, which
+	// runs the large synthetic circuit where phase 1 converges.
+	CheckShardEnvelope = "shard-envelope"
+	// CheckWarmCold: disabling LP warm starts must produce the byte-identical
+	// layout.
+	CheckWarmCold = "warm-cold"
+	// CheckWorkers: every worker count must produce the byte-identical
+	// layout.
+	CheckWorkers = "workers"
+)
+
+// AllChecks lists every check in battery order.
+var AllChecks = []string{
+	CheckReorder, CheckRename, CheckRescale, CheckMirror,
+	CheckShardEnvelope, CheckWarmCold, CheckWorkers,
+}
+
+// Options tunes the battery.
+type Options struct {
+	// Solve is the base flow configuration. Harnesses should bound solves by
+	// node budgets (StripNodeLimit/Phase1NodeLimit), not wall clock:
+	// binding time limits break the byte-equality relations. Solve.Workers
+	// is the base worker count; zero means 1 here (not GOMAXPROCS), so the
+	// workers check compares against a fixed reference.
+	Solve pilp.Options
+	// Checks selects a subset of AllChecks; nil runs all of them.
+	Checks []string
+	// ShardSize is the cluster cap of the shard-envelope check. Zero means 5.
+	ShardSize int
+	// ShardTol is the allowed fractional score regression of the sharded
+	// phase 1. Zero means 0.50 — see CheckShardEnvelope for why the default
+	// is a collapse guard rather than the shardguard's tight 10%.
+	ShardTol float64
+	// ShardSlack is the absolute score slack added to the shard envelope on
+	// top of the per-boundary-strip violation allowance (so a perfect-score
+	// monolithic baseline does not turn every nonzero sharded score into a
+	// failure). Zero means 100, one bend.
+	ShardSlack float64
+	// RescaleFactor is the unit-rescaling multiplier. Zero means 2.
+	RescaleFactor int64
+	// MirrorRatio is the allowed multiplicative score divergence between the
+	// mirrored and the base solve (in either direction). Zero means 8:
+	// mirroring flips every tie-break of the constructive heuristic, and at
+	// fuzz-scale node budgets up to ~5x violation swings are empirically
+	// normal — the envelope flags chirality-driven collapse, not wobble.
+	MirrorRatio float64
+	// MirrorSlack is the absolute score slack of the mirror envelope. Zero
+	// means 2e6, two violations — a near-perfect base score must not turn
+	// every residual mirrored violation into a failure.
+	MirrorSlack float64
+	// ExtraWorkers are the worker counts compared against the base solve by
+	// the workers check. Nil means {4}.
+	ExtraWorkers []int
+}
+
+func (o Options) shardSize() int {
+	if o.ShardSize > 0 {
+		return o.ShardSize
+	}
+	return 5
+}
+
+func (o Options) shardTol() float64 {
+	if o.ShardTol > 0 {
+		return o.ShardTol
+	}
+	return 0.50
+}
+
+func (o Options) shardSlack() float64 {
+	if o.ShardSlack > 0 {
+		return o.ShardSlack
+	}
+	return 100
+}
+
+func (o Options) rescaleFactor() int64 {
+	if o.RescaleFactor > 1 {
+		return o.RescaleFactor
+	}
+	return 2
+}
+
+func (o Options) mirrorRatio() float64 {
+	if o.MirrorRatio > 0 {
+		return o.MirrorRatio
+	}
+	return 8
+}
+
+func (o Options) mirrorSlack() float64 {
+	if o.MirrorSlack > 0 {
+		return o.MirrorSlack
+	}
+	return 2e6
+}
+
+func (o Options) extraWorkers() []int {
+	if len(o.ExtraWorkers) > 0 {
+		return o.ExtraWorkers
+	}
+	return []int{4}
+}
+
+func (o Options) checks() []string {
+	if len(o.Checks) > 0 {
+		return o.Checks
+	}
+	return AllChecks
+}
+
+// CheckResult is the outcome of one metamorphic check.
+type CheckResult struct {
+	Name   string `json:"name"`
+	Passed bool   `json:"passed"`
+	// Detail explains a failure, or carries a short note on a pass (e.g.
+	// "below shard threshold").
+	Detail string `json:"detail,omitempty"`
+}
+
+// Report is the outcome of the whole battery on one circuit.
+type Report struct {
+	Circuit string        `json:"circuit"`
+	Results []CheckResult `json:"checks"`
+	// Nodes is the branch-and-bound node total across every solve the
+	// battery ran — deterministic, so it may appear in reproducible output.
+	Nodes int `json:"nodes"`
+	// Runtime is the battery wall clock. Scheduling-dependent; harnesses
+	// that promise byte-identical output must exclude it.
+	Runtime time.Duration `json:"-"`
+}
+
+// Passed reports whether every check passed.
+func (r *Report) Passed() bool {
+	for _, cr := range r.Results {
+		if !cr.Passed {
+			return false
+		}
+	}
+	return true
+}
+
+// Failed returns the failing checks.
+func (r *Report) Failed() []CheckResult {
+	var out []CheckResult
+	for _, cr := range r.Results {
+		if !cr.Passed {
+			out = append(out, cr)
+		}
+	}
+	return out
+}
+
+// DefaultSolveOptions returns the flow configuration the fuzz harness uses:
+// phase 3 skipped and every search bounded by deterministic node budgets, so
+// circuits that would not converge still terminate at a path-independent
+// point and the byte-equality relations hold. budget is the per-strip node
+// budget (zero means 25); the phase-1 budget scales with it.
+func DefaultSolveOptions(budget int) pilp.Options {
+	if budget <= 0 {
+		budget = 25
+	}
+	return pilp.Options{
+		ChainPoints:         2,
+		MaxChainPoints:      3,
+		MaxRefineIterations: -1,
+		StripNodeLimit:      budget,
+		Phase1NodeLimit:     40 * budget,
+		// Tight geometric windows keep the per-strip models small: simplex
+		// pivot cost grows with the window, and on wide-aspect fuzz circuits
+		// the default 40 µm window makes single solves ~20x slower for no
+		// measurable quality gain at fuzz-scale node budgets.
+		Confinement: geom.FromMicrons(10),
+		PairRadius:  geom.FromMicrons(30),
+		// Generous wall-clock ceilings that the node budgets undercut:
+		// binding time limits would reintroduce nondeterminism.
+		StripTimeLimit: 60 * time.Second,
+		PhaseTimeLimit: 300 * time.Second,
+		Workers:        1,
+	}
+}
+
+// Run executes the battery on one circuit. A context error aborts the
+// battery and surfaces as the returned error (never as a bogus check
+// failure); any other solver error fails the check that triggered it.
+func Run(ctx context.Context, c *netlist.Circuit, opts Options) (*Report, error) {
+	start := time.Now()
+	if opts.Solve.Workers == 0 {
+		opts.Solve.Workers = 1
+	}
+	rep := &Report{Circuit: c.Name}
+
+	base, err := pilp.GenerateCtx(ctx, c, opts.Solve)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("audit: base solve of %s: %w", c.Name, err)
+	}
+	rep.Nodes += base.Nodes
+
+	for _, name := range opts.checks() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var cr CheckResult
+		switch name {
+		case CheckReorder:
+			cr = checkReorder(ctx, c, base, opts, rep)
+		case CheckRename:
+			cr = checkRename(ctx, c, base, opts, rep)
+		case CheckRescale:
+			cr = checkRescale(ctx, c, base, opts, rep)
+		case CheckMirror:
+			cr = checkMirror(ctx, c, base, opts, rep)
+		case CheckShardEnvelope:
+			cr = checkShardEnvelope(ctx, c, opts, rep)
+		case CheckWarmCold:
+			cr = checkWarmCold(ctx, c, base, opts, rep)
+		case CheckWorkers:
+			cr = checkWorkers(ctx, c, base, opts, rep)
+		default:
+			return nil, fmt.Errorf("audit: unknown check %q", name)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, cr)
+	}
+	rep.Runtime = time.Since(start)
+	return rep, nil
+}
+
+// resolve runs one transformed solve, charging its effort to the report.
+func resolve(ctx context.Context, c *netlist.Circuit, opts pilp.Options, rep *Report) (*pilp.Result, error) {
+	res, err := pilp.GenerateCtx(ctx, c, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep.Nodes += res.Nodes
+	return res, nil
+}
+
+func failf(name, format string, args ...interface{}) CheckResult {
+	return CheckResult{Name: name, Passed: false, Detail: fmt.Sprintf(format, args...)}
+}
+
+func pass(name string) CheckResult { return CheckResult{Name: name, Passed: true} }
+
+func passf(name, format string, args ...interface{}) CheckResult {
+	return CheckResult{Name: name, Passed: true, Detail: fmt.Sprintf(format, args...)}
+}
+
+// checkReorder: canonical text and solved layout must be invariant under
+// declaration-order shuffling.
+func checkReorder(ctx context.Context, c *netlist.Circuit, base *pilp.Result, opts Options, rep *Report) CheckResult {
+	shuffled := reordered(c)
+	if netlist.Canonical(shuffled) != netlist.Canonical(c) {
+		return failf(CheckReorder, "canonical text changed under declaration reordering")
+	}
+	res, err := resolve(ctx, shuffled, opts.Solve, rep)
+	if err != nil {
+		return failf(CheckReorder, "solving reordered circuit: %v", err)
+	}
+	if layout.Format(res.Layout) != layout.Format(base.Layout) {
+		return failf(CheckReorder, "layout differs after declaration reordering")
+	}
+	return pass(CheckReorder)
+}
+
+// checkRename: an order-preserving rename must reproduce identical geometry
+// under the new names.
+func checkRename(ctx context.Context, c *netlist.Circuit, base *pilp.Result, opts Options, rep *Report) CheckResult {
+	rc, mapping := renamed(c)
+	res, err := resolve(ctx, rc, opts.Solve, rep)
+	if err != nil {
+		return failf(CheckRename, "solving renamed circuit: %v", err)
+	}
+	for _, d := range c.Devices {
+		b := base.Layout.Placed(d.Name)
+		r := res.Layout.Placed(mapping[d.Name])
+		if (b == nil) != (r == nil) {
+			return failf(CheckRename, "device %s placed in only one of the two layouts", d.Name)
+		}
+		if b == nil {
+			continue
+		}
+		if !b.Center.Eq(r.Center) || b.Orient != r.Orient {
+			return failf(CheckRename, "device %s moved under rename: %v/%v vs %v/%v",
+				d.Name, b.Center, b.Orient, r.Center, r.Orient)
+		}
+	}
+	for _, ms := range c.Microstrips {
+		b := base.Layout.Routed(ms.Name)
+		r := res.Layout.Routed(mapping[ms.Name])
+		if (b == nil) != (r == nil) {
+			return failf(CheckRename, "strip %s routed in only one of the two layouts", ms.Name)
+		}
+		if b == nil {
+			continue
+		}
+		if len(b.Path.Points) != len(r.Path.Points) {
+			return failf(CheckRename, "strip %s changed chain points under rename", ms.Name)
+		}
+		for i := range b.Path.Points {
+			if !b.Path.Points[i].Eq(r.Path.Points[i]) {
+				return failf(CheckRename, "strip %s rerouted under rename at point %d", ms.Name, i)
+			}
+		}
+	}
+	return pass(CheckRename)
+}
+
+// checkRescale: solving the k-times-rescaled circuit (with equally rescaled
+// flow windows and check tolerances) must reproduce the base layout quality
+// in the finer unit: equal violation counts, equal bend totals, and a total
+// length error within the rescale envelope of k times the base.
+func checkRescale(ctx context.Context, c *netlist.Circuit, base *pilp.Result, opts Options, rep *Report) CheckResult {
+	k := opts.rescaleFactor()
+	sc := rescaled(c, k)
+	so := opts.Solve
+	// The flow's geometric windows are lengths too; leaving them in the old
+	// unit would state a different problem.
+	so.Confinement = resolveConfinement(opts.Solve) * k
+	so.PairRadius = resolvePairRadius(opts.Solve) * k
+	so.ShardBoundaryTol = resolveShardBoundaryTol(opts.Solve) * k
+	res, err := resolve(ctx, sc, so, rep)
+	if err != nil {
+		return failf(CheckRescale, "solving rescaled circuit: %v", err)
+	}
+
+	baseViol := len(base.Layout.Check(layout.CheckOptions{PinTolerance: 2}))
+	// The DRC tolerances are lengths: rescale them with the unit.
+	scaledViol := len(res.Layout.Check(layout.CheckOptions{
+		LengthTolerance: 10 * k,
+		PinTolerance:    2 * k,
+	}))
+	if scaledViol != baseViol {
+		return failf(CheckRescale, "violations changed under x%d rescale: %d vs %d", k, scaledViol, baseViol)
+	}
+	bm, sm := base.Layout.Metrics(), res.Layout.Metrics()
+	if bm.TotalBends != sm.TotalBends {
+		return failf(CheckRescale, "total bends changed under x%d rescale: %d vs %d", k, sm.TotalBends, bm.TotalBends)
+	}
+	// Integer rounding inside the constructive serpentine shifts coordinates
+	// by up to k−1 nm per division; allow the accumulated length error one
+	// strip-width of drift per strip on top of exact scaling.
+	slack := geom.Coord(len(c.Microstrips)) * c.Tech.MicrostripWidth * k
+	if diff := geom.AbsCoord(sm.TotalLengthError - k*bm.TotalLengthError); diff > slack {
+		return failf(CheckRescale, "total length error %0.3fµm not within %0.3fµm of %d x %0.3fµm",
+			geom.Microns(sm.TotalLengthError), geom.Microns(slack), k, geom.Microns(bm.TotalLengthError))
+	}
+	return pass(CheckRescale)
+}
+
+// resolveConfinement mirrors pilp's internal default (40 µm) so the rescale
+// check can scale the effective value rather than the zero sentinel.
+func resolveConfinement(o pilp.Options) geom.Coord {
+	if o.Confinement > 0 {
+		return o.Confinement
+	}
+	return geom.FromMicrons(40)
+}
+
+func resolvePairRadius(o pilp.Options) geom.Coord {
+	if o.PairRadius > 0 {
+		return o.PairRadius
+	}
+	return geom.FromMicrons(80)
+}
+
+func resolveShardBoundaryTol(o pilp.Options) geom.Coord {
+	if o.ShardBoundaryTol > 0 {
+		return o.ShardBoundaryTol
+	}
+	return geom.FromMicrons(2)
+}
+
+// checkMirror: see CheckMirror. The involution half is exact; the score half
+// is the wide collapse envelope — a tight envelope would be unsound, the
+// constructive heuristic is genuinely chirality-sensitive (solving the
+// mirrored problem is NOT solving the problem and mirroring the answer).
+func checkMirror(ctx context.Context, c *netlist.Circuit, base *pilp.Result, opts Options, rep *Report) CheckResult {
+	mc := mirroredX(c)
+	if netlist.Canonical(mirroredX(mc)) != netlist.Canonical(c) {
+		return failf(CheckMirror, "mirroring twice did not restore the canonical netlist")
+	}
+	res, err := resolve(ctx, mc, opts.Solve, rep)
+	if err != nil {
+		return failf(CheckMirror, "solving mirrored circuit: %v", err)
+	}
+	bs, ms := pilp.Score(base.Layout), pilp.Score(res.Layout)
+	lo, hi := bs, ms
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi > lo*opts.mirrorRatio()+opts.mirrorSlack() {
+		return failf(CheckMirror, "mirrored score %.1f vs base %.1f exceeds the %gx collapse envelope",
+			ms, bs, opts.mirrorRatio())
+	}
+	return pass(CheckMirror)
+}
+
+// checkShardEnvelope: phase 1 sharded must stay within the stated score
+// envelope of phase 1 monolithic.
+func checkShardEnvelope(ctx context.Context, c *netlist.Circuit, opts Options, rep *Report) CheckResult {
+	mono := opts.Solve
+	mono.ShardSize = 0
+	monoRes, err := pilp.AdjustPhase1(ctx, c, mono)
+	if err != nil {
+		return failf(CheckShardEnvelope, "monolithic phase 1: %v", err)
+	}
+	rep.Nodes += monoRes.Nodes
+	sharded := opts.Solve
+	sharded.ShardSize = opts.shardSize()
+	shardRes, err := pilp.AdjustPhase1(ctx, c, sharded)
+	if err != nil {
+		return failf(CheckShardEnvelope, "sharded phase 1: %v", err)
+	}
+	rep.Nodes += shardRes.Nodes
+	if len(shardRes.Shards) < 2 {
+		return passf(CheckShardEnvelope, "below shard threshold at size %d", opts.shardSize())
+	}
+	// Boundary counts owned strips crossing clusters, so summing over the
+	// shards counts each inter-cluster strip exactly once.
+	boundaryStrips := 0
+	for _, s := range shardRes.Shards {
+		boundaryStrips += s.Boundary
+	}
+	monoScore, shardScore := pilp.Score(monoRes.Layout), pilp.Score(shardRes.Layout)
+	allowed := monoScore*(1+opts.shardTol()) + 1e6*float64(boundaryStrips) + opts.shardSlack()
+	if shardScore > allowed {
+		return failf(CheckShardEnvelope, "sharded score %.1f exceeds allowed %.1f (monolithic %.1f, %d shards, %d boundary strips)",
+			shardScore, allowed, monoScore, len(shardRes.Shards), boundaryStrips)
+	}
+	return pass(CheckShardEnvelope)
+}
+
+// checkWarmCold: warm-started and cold LP solves must return byte-identical
+// layouts.
+func checkWarmCold(ctx context.Context, c *netlist.Circuit, base *pilp.Result, opts Options, rep *Report) CheckResult {
+	cold := opts.Solve
+	cold.ColdLP = true
+	res, err := resolve(ctx, c, cold, rep)
+	if err != nil {
+		return failf(CheckWarmCold, "cold-LP solve: %v", err)
+	}
+	if layout.Format(res.Layout) != layout.Format(base.Layout) {
+		return failf(CheckWarmCold, "cold-LP layout differs from warm-started layout")
+	}
+	return pass(CheckWarmCold)
+}
+
+// checkWorkers: every worker count must return the byte-identical layout.
+func checkWorkers(ctx context.Context, c *netlist.Circuit, base *pilp.Result, opts Options, rep *Report) CheckResult {
+	want := layout.Format(base.Layout)
+	for _, w := range opts.extraWorkers() {
+		if w == opts.Solve.Workers {
+			continue
+		}
+		so := opts.Solve
+		so.Workers = w
+		res, err := resolve(ctx, c, so, rep)
+		if err != nil {
+			return failf(CheckWorkers, "solve at %d workers: %v", w, err)
+		}
+		if layout.Format(res.Layout) != want {
+			return failf(CheckWorkers, "layout differs between %d and %d workers", opts.Solve.Workers, w)
+		}
+	}
+	return pass(CheckWorkers)
+}

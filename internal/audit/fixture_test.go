@@ -1,0 +1,46 @@
+package audit
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"rficlayout/internal/netlist"
+)
+
+// perimeterPred is the synthetic failure behind testdata/fuzzmin.rfic: some
+// strip demands more than half the area perimeter.
+func perimeterPred(_ context.Context, c *netlist.Circuit) (string, bool) {
+	for _, ms := range c.Microstrips {
+		if ms.TargetLength > (c.AreaWidth+c.AreaHeight)/2 {
+			return "strip " + ms.Name + " demands more than half the area perimeter", true
+		}
+	}
+	return "", false
+}
+
+// TestCommittedFixture: testdata/fuzzmin.rfic is the minimizer's output on a
+// fuzz circuit (seed 15) with an injected over-long strip target. It must
+// stay parseable, still exhibit the violation, and be a minimization
+// fixpoint — if the minimizer learns to shrink further, the fixture should
+// be regenerated rather than silently drift.
+func TestCommittedFixture(t *testing.T) {
+	path := filepath.Join("..", "..", "testdata", "fuzzmin.rfic")
+	c, err := netlist.ParseFile(path)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	if _, failed := perimeterPred(context.Background(), c); !failed {
+		t.Fatal("fixture no longer exhibits the perimeter violation")
+	}
+	if len(c.Microstrips) != 1 || len(c.Devices) != 2 {
+		t.Fatalf("fixture is not minimal: %d devices, %d strips", len(c.Devices), len(c.Microstrips))
+	}
+	res, err := Minimize(context.Background(), c, perimeterPred)
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if res.Steps != 0 {
+		t.Fatalf("fixture is not a minimization fixpoint: %d further step(s)", res.Steps)
+	}
+}

@@ -1,0 +1,174 @@
+package audit
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+
+	"rficlayout/internal/netlist"
+)
+
+// Predicate decides whether a circuit still exhibits the failure being
+// minimized. detail describes the failure (carried into the MinimizeResult
+// for the final circuit); failed reports whether it is present. Predicates
+// must be deterministic — the minimizer re-evaluates candidates and assumes
+// a circuit that failed once fails again.
+type Predicate func(ctx context.Context, c *netlist.Circuit) (detail string, failed bool)
+
+// MinimizeResult is the outcome of Minimize.
+type MinimizeResult struct {
+	// Circuit is the smallest failing circuit found (the input itself when
+	// nothing could be removed).
+	Circuit *netlist.Circuit
+	// Detail is the predicate's description of the failure on that circuit.
+	Detail string
+	// Steps counts the accepted removals.
+	Steps int
+}
+
+// Minimize greedily shrinks a failing circuit while the predicate keeps
+// failing: it repeatedly tries removing one microstrip (name order), then one
+// disconnected device, keeping any removal after which the circuit still
+// validates and still fails, until a full sweep removes nothing. Greedy
+// one-object removal is deliberately simple — deterministic, worst-case
+// quadratic in circuit size, and in practice it reduces fuzz circuits to a
+// handful of objects, which is what a committable fixture needs.
+//
+// The input circuit is never mutated. A context error aborts minimization and
+// returns the best circuit found so far together with ctx.Err().
+func Minimize(ctx context.Context, c *netlist.Circuit, pred Predicate) (*MinimizeResult, error) {
+	detail, failed := pred(ctx, c)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if !failed {
+		return &MinimizeResult{Circuit: c, Detail: ""}, nil
+	}
+	cur := copyCircuit(c)
+	res := &MinimizeResult{Circuit: cur, Detail: detail}
+	for {
+		removed, err := minimizeSweep(ctx, res, pred)
+		if err != nil {
+			return res, err
+		}
+		if !removed {
+			return res, nil
+		}
+	}
+}
+
+// minimizeSweep performs one pass over the removable objects, adopting every
+// removal that keeps the failure alive. It reports whether anything was
+// removed.
+func minimizeSweep(ctx context.Context, res *MinimizeResult, pred Predicate) (bool, error) {
+	removed := false
+	// Strips first: removing a strip can only disconnect, never invalidate a
+	// remaining reference, and each removal may free a device for the second
+	// loop.
+	for i := 0; i < len(res.Circuit.Microstrips); {
+		if err := ctx.Err(); err != nil {
+			return removed, err
+		}
+		cand := withoutStrip(res.Circuit, res.Circuit.Microstrips[i].Name)
+		if detail, ok := stillFails(ctx, cand, pred); ok {
+			res.Circuit, res.Detail = cand, detail
+			res.Steps++
+			removed = true
+			continue // same index now holds the next strip
+		}
+		i++
+	}
+	for i := 0; i < len(res.Circuit.Devices); {
+		if err := ctx.Err(); err != nil {
+			return removed, err
+		}
+		name := res.Circuit.Devices[i].Name
+		if stripDegree(res.Circuit, name) > 0 {
+			i++
+			continue
+		}
+		cand := withoutDevice(res.Circuit, name)
+		if detail, ok := stillFails(ctx, cand, pred); ok {
+			res.Circuit, res.Detail = cand, detail
+			res.Steps++
+			removed = true
+			continue
+		}
+		i++
+	}
+	return removed, nil
+}
+
+// stillFails reports whether the candidate both validates and still fails the
+// predicate — the two conditions an accepted removal must keep.
+func stillFails(ctx context.Context, cand *netlist.Circuit, pred Predicate) (string, bool) {
+	if cand == nil || cand.Validate() != nil {
+		return "", false
+	}
+	detail, failed := pred(ctx, cand)
+	if ctx.Err() != nil {
+		return "", false
+	}
+	return detail, failed
+}
+
+// withoutStrip returns a copy lacking the named microstrip.
+func withoutStrip(c *netlist.Circuit, name string) *netlist.Circuit {
+	out := netlist.NewCircuit(c.Name, c.Tech, c.AreaWidth, c.AreaHeight)
+	for _, d := range c.Devices {
+		dd := *d
+		dd.Pins = append([]netlist.Pin(nil), d.Pins...)
+		out.AddDevice(&dd)
+	}
+	for _, ms := range c.Microstrips {
+		if ms.Name == name {
+			continue
+		}
+		mm := *ms
+		out.AddMicrostrip(&mm)
+	}
+	return out
+}
+
+// withoutDevice returns a copy lacking the named device, or nil if any strip
+// still references it (removal would dangle).
+func withoutDevice(c *netlist.Circuit, name string) *netlist.Circuit {
+	if stripDegree(c, name) > 0 {
+		return nil
+	}
+	out := netlist.NewCircuit(c.Name, c.Tech, c.AreaWidth, c.AreaHeight)
+	for _, d := range c.Devices {
+		if d.Name == name {
+			continue
+		}
+		dd := *d
+		dd.Pins = append([]netlist.Pin(nil), d.Pins...)
+		out.AddDevice(&dd)
+	}
+	for _, ms := range c.Microstrips {
+		mm := *ms
+		out.AddMicrostrip(&mm)
+	}
+	return out
+}
+
+// stripDegree counts the microstrips touching the named device.
+func stripDegree(c *netlist.Circuit, device string) int {
+	n := 0
+	for _, ms := range c.Microstrips {
+		if ms.From.Device == device || ms.To.Device == device {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteFixture writes the circuit's canonical text to path, creating parent
+// directories as needed. Canonical text round-trips through netlist.Parse, so
+// the fixture replays the failure exactly.
+func WriteFixture(path string, c *netlist.Circuit) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(netlist.Canonical(c)), 0o644)
+}

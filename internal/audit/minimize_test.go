@@ -1,0 +1,95 @@
+package audit
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rficlayout/internal/circuits/fuzz"
+	"rficlayout/internal/netlist"
+)
+
+// TestMinimizeShrinks: an injected structural violation (a strip whose target
+// is far too long for the layout area) must survive minimization, and the
+// minimized circuit must be strictly smaller while still exhibiting it.
+func TestMinimizeShrinks(t *testing.T) {
+	c, _ := fuzz.Generate(9)
+	// The "failure": some strip demands more than half the area perimeter —
+	// a cheap deterministic stand-in for a solver-level check failure.
+	threshold := (c.AreaWidth + c.AreaHeight) / 2
+	pred := func(_ context.Context, cand *netlist.Circuit) (string, bool) {
+		for _, ms := range cand.Microstrips {
+			if ms.TargetLength > threshold {
+				return "strip " + ms.Name + " exceeds the perimeter budget", true
+			}
+		}
+		return "", false
+	}
+	// Inject the violation into one strip.
+	c.Microstrips[len(c.Microstrips)/2].TargetLength = threshold * 2
+
+	before := len(c.Devices) + len(c.Microstrips)
+	res, err := Minimize(context.Background(), c, pred)
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	after := len(res.Circuit.Devices) + len(res.Circuit.Microstrips)
+	if after >= before {
+		t.Fatalf("minimized circuit has %d objects, input had %d", after, before)
+	}
+	if _, failed := pred(context.Background(), res.Circuit); !failed {
+		t.Fatal("minimized circuit no longer fails the predicate")
+	}
+	if err := res.Circuit.Validate(); err != nil {
+		t.Fatalf("minimized circuit invalid: %v", err)
+	}
+	if res.Steps == 0 || res.Detail == "" {
+		t.Fatalf("result metadata incomplete: %+v", res)
+	}
+	// The ideal minimum keeps the one bad strip and its two endpoint devices.
+	if len(res.Circuit.Microstrips) != 1 {
+		t.Errorf("minimized circuit keeps %d strips, want 1", len(res.Circuit.Microstrips))
+	}
+	if len(res.Circuit.Devices) > 2 {
+		t.Errorf("minimized circuit keeps %d devices, want <= 2", len(res.Circuit.Devices))
+	}
+}
+
+// TestMinimizeNonFailing: a circuit that does not fail comes back unchanged.
+func TestMinimizeNonFailing(t *testing.T) {
+	c, _ := fuzz.Generate(2)
+	res, err := Minimize(context.Background(), c, func(context.Context, *netlist.Circuit) (string, bool) {
+		return "", false
+	})
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if res.Steps != 0 || res.Circuit != c {
+		t.Fatalf("non-failing circuit was modified: %+v", res)
+	}
+}
+
+// TestWriteFixtureRoundTrip: a written fixture parses back to the identical
+// canonical text.
+func TestWriteFixtureRoundTrip(t *testing.T) {
+	c, _ := fuzz.Generate(4)
+	path := filepath.Join(t.TempDir(), "sub", "min.rfic")
+	if err := WriteFixture(path, c); err != nil {
+		t.Fatalf("WriteFixture: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading fixture: %v", err)
+	}
+	if string(data) != netlist.Canonical(c) {
+		t.Fatal("fixture bytes differ from canonical text")
+	}
+	parsed, err := netlist.ParseString(string(data))
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	if netlist.Canonical(parsed) != netlist.Canonical(c) {
+		t.Fatal("fixture did not round-trip")
+	}
+}

@@ -1,0 +1,163 @@
+package audit
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"rficlayout/internal/netlist"
+)
+
+// The metamorphic checks apply structure-preserving transformations to the
+// input circuit and compare the solved outputs against the relation the
+// transformation predicts. Every transform returns a deep copy — devices,
+// pins and microstrips are fresh structs — so a check can never leak
+// mutations into the circuit another check is solving.
+
+// copyCircuit deep-copies the circuit: shared Technology value, fresh device
+// and microstrip structs.
+func copyCircuit(c *netlist.Circuit) *netlist.Circuit {
+	out := netlist.NewCircuit(c.Name, c.Tech, c.AreaWidth, c.AreaHeight)
+	for _, d := range c.Devices {
+		dd := *d
+		dd.Pins = append([]netlist.Pin(nil), d.Pins...)
+		out.AddDevice(&dd)
+	}
+	for _, ms := range c.Microstrips {
+		mm := *ms
+		out.AddMicrostrip(&mm)
+	}
+	return out
+}
+
+// reordered returns a copy with the device and microstrip declaration order
+// deterministically shuffled (seeded by the circuit name), the input of the
+// reorder-invariance check: canonicalization must erase the permutation.
+func reordered(c *netlist.Circuit) *netlist.Circuit {
+	out := copyCircuit(c)
+	h := fnv.New64a()
+	h.Write([]byte(c.Name))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	rng.Shuffle(len(out.Devices), func(i, j int) {
+		out.Devices[i], out.Devices[j] = out.Devices[j], out.Devices[i]
+	})
+	rng.Shuffle(len(out.Microstrips), func(i, j int) {
+		out.Microstrips[i], out.Microstrips[j] = out.Microstrips[j], out.Microstrips[i]
+	})
+	// Also reverse each device's pin declaration order; Normalized must
+	// restore it.
+	for _, d := range out.Devices {
+		for i, j := 0, len(d.Pins)-1; i < j; i, j = i+1, j-1 {
+			d.Pins[i], d.Pins[j] = d.Pins[j], d.Pins[i]
+		}
+	}
+	return out
+}
+
+// renamed returns a copy in which every device and microstrip carries a
+// fresh generated name, plus the old→new mapping. The mapping preserves
+// lexicographic order (sorted old names map to sorted new names index by
+// index), so the solver's name-ordered tie-breaks fire identically and the
+// renamed circuit must solve to the geometrically identical layout.
+func renamed(c *netlist.Circuit) (*netlist.Circuit, map[string]string) {
+	out := copyCircuit(c)
+	devMap := orderPreservingNames(deviceNames(out), "D")
+	stripMap := orderPreservingNames(stripNames(out), "S")
+	for _, d := range out.Devices {
+		d.Name = devMap[d.Name]
+	}
+	for _, ms := range out.Microstrips {
+		ms.Name = stripMap[ms.Name]
+		ms.From.Device = devMap[ms.From.Device]
+		ms.To.Device = devMap[ms.To.Device]
+	}
+	// The device index still holds the old names; rebuild via re-adding.
+	fresh := netlist.NewCircuit(out.Name, out.Tech, out.AreaWidth, out.AreaHeight)
+	for _, d := range out.Devices {
+		fresh.AddDevice(d)
+	}
+	for _, ms := range out.Microstrips {
+		fresh.AddMicrostrip(ms)
+	}
+	mapping := make(map[string]string, len(devMap)+len(stripMap))
+	for k, v := range devMap {
+		mapping[k] = v
+	}
+	for k, v := range stripMap {
+		mapping[k] = v
+	}
+	return fresh, mapping
+}
+
+func deviceNames(c *netlist.Circuit) []string {
+	out := make([]string, 0, len(c.Devices))
+	for _, d := range c.Devices {
+		out = append(out, d.Name)
+	}
+	return out
+}
+
+func stripNames(c *netlist.Circuit) []string {
+	out := make([]string, 0, len(c.Microstrips))
+	for _, ms := range c.Microstrips {
+		out = append(out, ms.Name)
+	}
+	return out
+}
+
+// orderPreservingNames maps the sorted input names onto zero-padded
+// "<prefix>NNNN" names, which sort in the same relative order.
+func orderPreservingNames(names []string, prefix string) map[string]string {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	m := make(map[string]string, len(sorted))
+	for i, n := range sorted {
+		m[n] = fmt.Sprintf("%s%04d", prefix, i)
+	}
+	return m
+}
+
+// rescaled returns a copy with every length of the problem — layout area,
+// device bodies, pin offsets, strip targets and widths, and all technology
+// lengths — multiplied by the integer factor k: the same problem stated in a
+// k-times-finer unit.
+func rescaled(c *netlist.Circuit, k int64) *netlist.Circuit {
+	out := copyCircuit(c)
+	out.AreaWidth *= k
+	out.AreaHeight *= k
+	t := out.Tech
+	t.GroundDistance *= k
+	t.MicrostripWidth *= k
+	t.BendCompensation *= k
+	t.SpacingOverride *= k
+	t.PadSize *= k
+	out.Tech = t
+	for _, d := range out.Devices {
+		d.Width *= k
+		d.Height *= k
+		for i := range d.Pins {
+			d.Pins[i].Offset.X *= k
+			d.Pins[i].Offset.Y *= k
+		}
+	}
+	for _, ms := range out.Microstrips {
+		ms.TargetLength *= k
+		ms.Width *= k
+	}
+	return out
+}
+
+// mirroredX returns a copy reflected through a vertical axis: every pin
+// offset has its X coordinate negated. Device bodies and the layout area are
+// symmetric under the reflection, so the mirrored circuit describes the
+// geometrically mirrored problem.
+func mirroredX(c *netlist.Circuit) *netlist.Circuit {
+	out := copyCircuit(c)
+	for _, d := range out.Devices {
+		for i := range d.Pins {
+			d.Pins[i].Offset.X = -d.Pins[i].Offset.X
+		}
+	}
+	return out
+}

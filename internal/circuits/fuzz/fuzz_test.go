@@ -1,0 +1,98 @@
+package fuzz
+
+import (
+	"strings"
+	"testing"
+
+	"rficlayout/internal/netlist"
+)
+
+// TestGenerateDeterministic: the same seed must yield byte-identical
+// canonical text — the property the fuzz harness's replayability and the
+// byte-identical-JSONL promise rest on.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 2*ProfilePeriod; seed++ {
+		a, pa := Generate(seed)
+		b, pb := Generate(seed)
+		if netlist.Canonical(a) != netlist.Canonical(b) {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+		if pa != pb {
+			t.Fatalf("seed %d: profiles differ: %+v vs %+v", seed, pa, pb)
+		}
+	}
+}
+
+// TestGenerateValid: every generated circuit passes full netlist validation.
+func TestGenerateValid(t *testing.T) {
+	for seed := int64(0); seed < 3*ProfilePeriod; seed++ {
+		c, p := Generate(seed)
+		if err := c.Validate(); err != nil {
+			t.Errorf("seed %d (%+v): %v", seed, p, err)
+		}
+	}
+}
+
+// TestGenerateDistinct: different seeds must produce structurally different
+// circuits, not just differently named copies — compare canonical text with
+// the name line stripped.
+func TestGenerateDistinct(t *testing.T) {
+	body := func(seed int64) string {
+		c, _ := Generate(seed)
+		canon := netlist.Canonical(c)
+		_, rest, _ := strings.Cut(canon, "\n")
+		return rest
+	}
+	seen := map[string]int64{}
+	distinct := 0
+	const n = ProfilePeriod
+	for seed := int64(0); seed < n; seed++ {
+		b := body(seed)
+		if _, dup := seen[b]; !dup {
+			distinct++
+		}
+		seen[b] = seed
+	}
+	// Symmetric profiles deliberately collapse dimensions, so a few
+	// collisions are possible in principle; the overwhelming majority must
+	// still be structurally unique.
+	if distinct < n*9/10 {
+		t.Fatalf("only %d of %d seeds are structurally distinct", distinct, n)
+	}
+}
+
+// TestProfileCoverage: a contiguous block of ProfilePeriod seeds covers the
+// whole shape × aspect × lengths × symmetry matrix.
+func TestProfileCoverage(t *testing.T) {
+	type cellKey struct {
+		s Shape
+		a Aspect
+		l Lengths
+		y bool
+	}
+	cells := map[cellKey]bool{}
+	for seed := int64(100); seed < 100+ProfilePeriod; seed++ {
+		_, p := Generate(seed)
+		cells[cellKey{p.Shape, p.Aspect, p.Lengths, p.Symmetric}] = true
+	}
+	if len(cells) != ProfilePeriod {
+		t.Fatalf("covered %d of %d matrix cells", len(cells), ProfilePeriod)
+	}
+}
+
+// TestCanonicalRoundTrip: generated circuits survive the canonical-text
+// round trip (Parse ∘ Canonical = identity on canonical text), which is what
+// makes minimized fixtures committable and replayable.
+func TestCanonicalRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		c, _ := Generate(seed)
+		canon := netlist.Canonical(c)
+		parsed, err := netlist.ParseString(canon)
+		if err != nil {
+			t.Fatalf("seed %d: reparsing canonical text: %v", seed, err)
+		}
+		if got := netlist.Canonical(parsed); got != canon {
+			t.Fatalf("seed %d: canonical text did not round-trip", seed)
+		}
+	}
+}

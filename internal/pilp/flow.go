@@ -44,6 +44,13 @@ type Options struct {
 	// what lets benchmark harnesses run circuits whose strip solves do not
 	// converge while keeping the byte-identical determinism contract.
 	StripNodeLimit int
+	// Phase1NodeLimit, when positive, bounds the phase-1 global-adjustment
+	// branch-and-bound — the monolithic solve or each shard sub-solve — by
+	// explored node count, the same deterministic path-independent cutoff
+	// StripNodeLimit provides for the per-strip solves. The fuzz harness
+	// sets both so pathological circuits terminate at a reproducible point
+	// instead of a wall-clock-dependent one.
+	Phase1NodeLimit int
 	// Workers bounds the worker pool that solves independent per-strip (and
 	// per-rotation) subproblems concurrently. Zero means GOMAXPROCS; one
 	// disables concurrency. The flow is deterministic: every worker count
@@ -269,9 +276,9 @@ func (o Options) milpOptions(timeLimit time.Duration, workers int) milp.SolveOpt
 // the reported effort counters, and defence in depth is cheap here. The
 // result cache hashes this string alongside the canonical circuit text.
 func (o Options) Fingerprint() string {
-	return fmt.Sprintf("chain=%d maxchain=%d conf=%d pair=%d striplimit=%s phaselimit=%s stripnodes=%d refine=%d rot=%v shard=%d sharditer=%d shardtol=%d pivot=%s coldlp=%v",
+	return fmt.Sprintf("chain=%d maxchain=%d conf=%d pair=%d striplimit=%s phaselimit=%s stripnodes=%d p1nodes=%d refine=%d rot=%v shard=%d sharditer=%d shardtol=%d pivot=%s coldlp=%v",
 		o.chainPoints(), o.maxChainPoints(), o.confinement(), o.pairRadius(),
-		o.stripTimeLimit(), o.phaseTimeLimit(), o.StripNodeLimit, o.refineIterations(), o.TryRotations,
+		o.stripTimeLimit(), o.phaseTimeLimit(), o.StripNodeLimit, o.Phase1NodeLimit, o.refineIterations(), o.TryRotations,
 		o.ShardSize, o.shardIterations(), o.shardBoundaryTol(), o.PivotRule, o.ColdLP)
 }
 
@@ -456,7 +463,9 @@ func globalAdjust(ctx context.Context, c *netlist.Circuit, current *layout.Layou
 		return nil, err
 	}
 	opts.logf("pilp: global adjustment model: %s", m.Stats())
-	lay, result, err := m.SolveAndExtractCtx(ctx, opts.milpOptions(opts.phaseTimeLimit(), opts.workers()))
+	mo := opts.milpOptions(opts.phaseTimeLimit(), opts.workers())
+	mo.MaxNodes = opts.Phase1NodeLimit
+	lay, result, err := m.SolveAndExtractCtx(ctx, mo)
 	opts.countSolve(result)
 	if err != nil {
 		return nil, err

@@ -233,7 +233,9 @@ func solveShard(ctx context.Context, c *netlist.Circuit, frozen *layout.Layout, 
 		opts.logf("pilp: shard %d model build failed: %v", stat.Cluster, err)
 		return nil
 	}
-	lay, result, err := m.SolveAndExtractCtx(ctx, opts.milpOptions(opts.phaseTimeLimit(), 1))
+	mo := opts.milpOptions(opts.phaseTimeLimit(), 1)
+	mo.MaxNodes = opts.Phase1NodeLimit
+	lay, result, err := m.SolveAndExtractCtx(ctx, mo)
 	if result != nil {
 		stat.Nodes += result.Nodes
 	}
