@@ -1,0 +1,293 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"rficlayout/internal/cache"
+	"rficlayout/internal/faultinject"
+	"rficlayout/internal/netlist"
+	"rficlayout/internal/pilp"
+	"rficlayout/internal/server"
+)
+
+// defaultFaultSpec is the chaos battery's stock schedule: worker-pool and
+// engine panics, injected admission failures, torn cache writes, and
+// transient cache read errors (absorbed by the tier's bounded retry). Every
+// budget is finite, so a long enough run always clears the faults and must
+// return to byte-identical service.
+const defaultFaultSpec = "conc.panic=0.25/3," +
+	"engine.panic=0.5/2," +
+	"server.admit=0.5/2," +
+	"cache.dir.torn=0.5/2," +
+	"cache.dir.read=1/2"
+
+// chaosNetlist builds the i-th tiny chaos circuit: the same solvable
+// PIN → M1 → POUT shape under distinct names, so requests are neither
+// coalesced by singleflight nor cross-served from the cache.
+func chaosNetlist(i int) string {
+	return fmt.Sprintf(`
+circuit chaos%d
+area 400 300
+tech name=cmos90 t=5 width=10 delta=-4 pad=60
+device M1 transistor 40 30
+pin M1 in -20 0
+pin M1 out 20 0
+pad PIN
+pad POUT
+strip TL1 PIN.p M1.in length=130
+strip TL2 M1.out POUT.p length=140
+`, i)
+}
+
+// chaosRecord is one JSONL line of the chaos run. It carries no wall-clock
+// fields: the request sequence, retry counts and statuses are all pure
+// functions of the fault seed, so two runs with the same flags must produce
+// byte-identical files — CI diffs them as the replay guard.
+type chaosRecord struct {
+	Round    int    `json:"round"`
+	Circuit  string `json:"circuit"`
+	Attempts int    `json:"attempts"`
+	Status   string `json:"status"`
+	CacheHit bool   `json:"cache_hit"`
+	Partial  bool   `json:"partial"`
+	Match    bool   `json:"match"`
+}
+
+// chaosResponse is the subset of the server's solve response the battery
+// inspects.
+type chaosResponse struct {
+	ID       string `json:"id"`
+	Status   string `json:"status"`
+	CacheHit bool   `json:"cache_hit"`
+	Partial  bool   `json:"partial"`
+	Layout   string `json:"layout"`
+	Error    string `json:"error"`
+}
+
+func chaosSolve(ctx context.Context, url, body string) (chaosResponse, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/solve", strings.NewReader(body))
+	if err != nil {
+		return chaosResponse{}, 0, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return chaosResponse{}, 0, err
+	}
+	defer resp.Body.Close()
+	var cr chaosResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return chaosResponse{}, resp.StatusCode, err
+	}
+	return cr, resp.StatusCode, nil
+}
+
+// runChaos is the seeded chaos battery: solve a small circuit set through a
+// live server while the fault registry injects panics, admission failures
+// and cache corruption on a deterministic schedule, then reconcile every
+// /healthz counter against the fired-fault counts and require byte-identical
+// layouts to a fault-free baseline once the budgets clear. Returns false on
+// any accounting mismatch, layout divergence, retry exhaustion — or a dead
+// server, which is the one failure mode the whole battery exists to rule out.
+func runChaos(ctx context.Context, faultSpec string, seed int64, rounds int, chaosOut, scheduleOut string) bool {
+	if faultSpec == "" {
+		faultSpec = defaultFaultSpec
+	}
+	plan, err := faultinject.ParsePlan(faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rficbench: -faults:", err)
+		return false
+	}
+	const circuits = 3
+	bodies := make([]string, circuits)
+	names := make([]string, circuits)
+	for i := range bodies {
+		bodies[i] = chaosNetlist(i)
+		c, err := netlist.ParseString(bodies[i])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rficbench: chaos netlist:", err)
+			return false
+		}
+		names[i] = c.Name
+	}
+
+	// Flow options mirror the server test fixture: small models that solve in
+	// tens of milliseconds, generous limits so nothing binds — determinism
+	// holds and the only perturbations are the injected ones.
+	solveOpts := pilp.Options{
+		ChainPoints:         3,
+		MaxChainPoints:      3,
+		StripTimeLimit:      2 * time.Second,
+		PhaseTimeLimit:      5 * time.Second,
+		MaxRefineIterations: 1,
+	}
+	newServer := func(c cache.Cache) (*server.Server, *httptest.Server) {
+		// Workers=2 pins each flow to one solver goroutine (sequential conc
+		// path), so one injected pool panic aborts exactly one solve — the
+		// invariant behind the panics == fired equality below.
+		s := server.New(server.Config{Workers: 2, QueueDepth: 8, SolveOptions: solveOpts, Cache: c})
+		return s, httptest.NewServer(s.Handler())
+	}
+
+	// Fault-free baseline layouts.
+	baseline := make([]string, circuits)
+	{
+		s, ts := newServer(nil)
+		for i, body := range bodies {
+			cr, code, err := chaosSolve(ctx, ts.URL, body)
+			if err != nil || code != http.StatusOK {
+				fmt.Fprintf(os.Stderr, "rficbench: baseline %s: status %d err %v (%s)\n", names[i], code, err, cr.Error)
+				ts.Close()
+				s.Close()
+				return false
+			}
+			baseline[i] = cr.Layout
+		}
+		ts.Close()
+		s.Close()
+	}
+
+	// Chaos run: fresh server, persistent Dir cache only (a memory tier would
+	// mask torn disk entries), registry armed.
+	cacheDir, err := os.MkdirTemp("", "rficbench-chaos-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rficbench:", err)
+		return false
+	}
+	defer os.RemoveAll(cacheDir)
+	dir, err := cache.NewDir(cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rficbench:", err)
+		return false
+	}
+	reg := faultinject.New(plan, seed)
+	faultinject.Enable(reg)
+	defer faultinject.Disable()
+	s, ts := newServer(dir)
+	defer s.Close()
+	defer ts.Close()
+
+	var out io.Writer = os.Stdout
+	if chaosOut != "" {
+		f, err := os.Create(chaosOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rficbench: -chaos-out:", err)
+			return false
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+
+	fmt.Printf("chaos: seed %d, plan %s, %d rounds x %d circuits\n", seed, plan.String(), rounds, circuits)
+	ok := true
+	for r := 0; r < rounds; r++ {
+		for i, body := range bodies {
+			rec := chaosRecord{Round: r, Circuit: names[i]}
+			for rec.Attempts = 1; rec.Attempts <= 10; rec.Attempts++ {
+				cr, code, err := chaosSolve(ctx, ts.URL, body)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "rficbench: chaos round %d %s: transport error: %v (server died?)\n", r, names[i], err)
+					return false
+				}
+				if code == http.StatusServiceUnavailable || code == http.StatusInternalServerError {
+					continue // retryable by design: injected rejection or isolated panic
+				}
+				if code != http.StatusOK {
+					fmt.Fprintf(os.Stderr, "rficbench: chaos round %d %s: unexpected status %d (%s)\n", r, names[i], code, cr.Error)
+					return false
+				}
+				rec.Status = cr.Status
+				rec.CacheHit = cr.CacheHit
+				rec.Partial = cr.Partial
+				rec.Match = cr.Layout == baseline[i]
+				break
+			}
+			if rec.Status == "" {
+				fmt.Fprintf(os.Stderr, "rficbench: chaos round %d %s: no success in 10 attempts\n", r, names[i])
+				return false
+			}
+			// Every full-quality result must be byte-identical to the
+			// fault-free baseline, faults or not.
+			if !rec.Partial && !rec.Match {
+				fmt.Fprintf(os.Stderr, "rficbench: chaos round %d %s: layout diverged from fault-free baseline\n", r, names[i])
+				ok = false
+			}
+			if err := enc.Encode(rec); err != nil {
+				fmt.Fprintln(os.Stderr, "rficbench:", err)
+				return false
+			}
+		}
+	}
+
+	// Reconcile /healthz against the fired-fault counts.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rficbench: healthz:", err)
+		return false
+	}
+	var h struct {
+		Solved   int64 `json:"solved"`
+		Failed   int64 `json:"failed"`
+		Rejected int64 `json:"rejected"`
+		Panics   int64 `json:"panics"`
+		Cache    *struct {
+			Corrupt int64 `json:"corrupt"`
+		} `json:"cache"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rficbench: healthz:", err)
+		return false
+	}
+	counts := reg.Counts()
+	for _, point := range []string{faultinject.PointConcPanic, faultinject.PointEnginePanic, faultinject.PointServerAdmit, faultinject.PointCacheTorn, faultinject.PointCacheRead} {
+		c := counts[point]
+		fmt.Printf("chaos: %-16s hits %3d fired %2d\n", point, c.Hits, c.Fired)
+	}
+	wantPanics := counts[faultinject.PointConcPanic].Fired + counts[faultinject.PointEnginePanic].Fired
+	if h.Panics != wantPanics {
+		fmt.Fprintf(os.Stderr, "rficbench: healthz panics %d != injected panics %d\n", h.Panics, wantPanics)
+		ok = false
+	}
+	if h.Rejected != counts[faultinject.PointServerAdmit].Fired {
+		fmt.Fprintf(os.Stderr, "rficbench: healthz rejected %d != injected admission failures %d\n", h.Rejected, counts[faultinject.PointServerAdmit].Fired)
+		ok = false
+	}
+	var corrupt int64 = -1
+	if h.Cache != nil {
+		corrupt = h.Cache.Corrupt
+	}
+	if corrupt != counts[faultinject.PointCacheTorn].Fired {
+		fmt.Fprintf(os.Stderr, "rficbench: cache corrupt %d != injected torn writes %d\n", corrupt, counts[faultinject.PointCacheTorn].Fired)
+		ok = false
+	}
+	fmt.Printf("chaos: solved %d failed %d rejected %d panics %d corrupt %d\n", h.Solved, h.Failed, h.Rejected, h.Panics, corrupt)
+
+	if scheduleOut != "" {
+		f, err := os.Create(scheduleOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rficbench: -fault-schedule-out:", err)
+			return false
+		}
+		werr := reg.WriteSchedule(f)
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			fmt.Fprintf(os.Stderr, "rficbench: writing fault schedule: %v %v\n", werr, cerr)
+			return false
+		}
+	}
+	if ok {
+		fmt.Println("chaos: OK — zero process deaths, all injected faults accounted for")
+	}
+	return ok
+}

@@ -34,6 +34,20 @@
 // committable .rfic fixture; the run then exits non-zero. CI runs a bounded
 // smoke sweep on every PR and a long scheduled sweep nightly.
 //
+// With -chaos the harness runs the seeded chaos battery: a small circuit set
+// is solved fault-free for baseline layouts, then re-solved -chaos-rounds
+// times through an in-process server while internal/faultinject injects
+// worker-pool and engine panics, admission failures, torn cache writes and
+// transient cache read errors on the deterministic schedule derived from
+// -fault-seed. The run fails unless the server survives every fault, each
+// /healthz counter accounts exactly for the fired faults, and every
+// full-quality layout is byte-identical to the fault-free baseline. The
+// per-request log (-chaos-out) and the fired-fault schedule
+// (-fault-schedule-out) carry no wall-clock fields, so replaying the same
+// seed yields byte-identical files — CI runs the battery twice and diffs.
+// Independently of -chaos, -faults arms the injection registry for any other
+// mode (e.g. -table1 under cache faults).
+//
 // With -stats-out FILE every solved job appends one JSON line (circuit,
 // runtime, branch-and-bound nodes, shard count, simplex counters) to FILE,
 // building the perf-trajectory artifact CI archives run over run —
@@ -49,6 +63,7 @@
 //	rficbench -shardguard -shard-size 6 -shard-tol 0.1
 //	rficbench -lp-compare -lp-circuit large -lp-phase1 -lp-min-speedup 1.5
 //	rficbench -fuzz -seed-base 1 -count 54 -budget 25 -fuzz-out fuzz.jsonl
+//	rficbench -chaos -fault-seed 42 -chaos-out chaos.jsonl -fault-schedule-out schedule.jsonl
 package main
 
 import (
@@ -65,6 +80,7 @@ import (
 	"rficlayout/internal/circuits"
 	"rficlayout/internal/emsim"
 	"rficlayout/internal/engine"
+	"rficlayout/internal/faultinject"
 	"rficlayout/internal/layout"
 	"rficlayout/internal/lp"
 	"rficlayout/internal/lp/benchharness"
@@ -99,10 +115,28 @@ func main() {
 	fuzzChecks := flag.String("fuzz-checks", "", "comma-separated subset of audit checks for -fuzz (empty = full battery)")
 	fuzzOut := flag.String("fuzz-out", "", "write one deterministic JSON line per fuzzed seed to this file (default stdout)")
 	fuzzFixtures := flag.String("fuzz-fixtures", "fuzz-failures", "directory for minimized failing-circuit fixtures from -fuzz (empty disables minimization)")
+	chaosMode := flag.Bool("chaos", false, "run the seeded chaos battery: solve through a live server under injected faults, reconcile /healthz against the fault schedule")
+	faults := flag.String("faults", "", "fault-injection plan, point=prob[/budget] pairs (see internal/faultinject); -chaos default: "+defaultFaultSpec)
+	faultSeed := flag.Int64("fault-seed", 42, "seed of the deterministic fault schedule")
+	chaosRounds := flag.Int("chaos-rounds", 8, "solve rounds over the chaos circuit set (enough to exhaust every fault budget and verify healing)")
+	chaosOut := flag.String("chaos-out", "", "write one deterministic JSON line per chaos request to this file (default stdout)")
+	scheduleOut := flag.String("fault-schedule-out", "", "write the fired-fault schedule JSONL to this file after the chaos run")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// -faults outside -chaos arms the process-global registry for whatever
+	// mode runs; -chaos manages its own registry from the same spec.
+	if *faults != "" && !*chaosMode {
+		plan, err := faultinject.ParsePlan(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rficbench: -faults:", err)
+			os.Exit(2)
+		}
+		faultinject.Enable(faultinject.New(plan, *faultSeed))
+		defer faultinject.Disable()
+	}
 
 	opts := pilp.Options{StripTimeLimit: *stripTime, MaxRefineIterations: 2, ShardSize: *shardSize}
 
@@ -143,8 +177,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if !*table1 && !*figure7 && !*figure11a && !*figure11b && !*shardGuard && !*lpCompare && !*fuzzMode {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -figure7, -figure11a, -figure11b, -shardguard, -lp-compare or -fuzz")
+	if *chaosMode {
+		if !runChaos(ctx, *faults, *faultSeed, *chaosRounds, *chaosOut, *scheduleOut) {
+			stats.Close()
+			os.Exit(1)
+		}
+	}
+	if !*table1 && !*figure7 && !*figure11a && !*figure11b && !*shardGuard && !*lpCompare && !*fuzzMode && !*chaosMode {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -figure7, -figure11a, -figure11b, -shardguard, -lp-compare, -fuzz or -chaos")
 		os.Exit(2)
 	}
 }

@@ -5,10 +5,21 @@
 // backed by a directory) serves repeated circuits without re-solving — the
 // flow is deterministic, so cached layouts are byte-identical to fresh ones.
 //
+// The server is hardened along its failure domains: a panicking solve is
+// isolated to its job (500 + the panics counter on /healthz, the process
+// keeps serving), slow-client damage is bounded by the header/read/idle
+// timeouts, SIGINT and SIGTERM both drain in-flight work before exit, and
+// the persistent cache tier checksums entries and quarantines corruption
+// instead of serving it. Setting RFIC_FAULTS (point=prob[/budget] pairs, see
+// internal/faultinject) with RFIC_FAULT_SEED arms deterministic fault
+// injection inside the live process — staging chaos drills only; leave it
+// unset in production.
+//
 // Usage:
 //
 //	rficserve -addr :8080
 //	rficserve -addr :8080 -workers 4 -queue 128 -cache-dir /var/cache/rfic
+//	RFIC_FAULTS='cache.dir.read=0.1/4' RFIC_FAULT_SEED=42 rficserve -addr :8080
 //
 // Quick start:
 //
@@ -27,12 +38,38 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"syscall"
 	"time"
 
 	"rficlayout/internal/cache"
+	"rficlayout/internal/faultinject"
 	"rficlayout/internal/pilp"
 	"rficlayout/internal/server"
 )
+
+// armFaultsFromEnv enables the fault-injection registry when RFIC_FAULTS is
+// set, so chaos drills run against the real binary with no special build.
+func armFaultsFromEnv() error {
+	spec := os.Getenv("RFIC_FAULTS")
+	if spec == "" {
+		return nil
+	}
+	plan, err := faultinject.ParsePlan(spec)
+	if err != nil {
+		return fmt.Errorf("RFIC_FAULTS: %w", err)
+	}
+	var seed int64
+	if s := os.Getenv("RFIC_FAULT_SEED"); s != "" {
+		seed, err = strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("RFIC_FAULT_SEED: %w", err)
+		}
+	}
+	faultinject.Enable(faultinject.New(plan, seed))
+	log.Printf("rficserve: FAULT INJECTION ARMED: plan %s seed %d", plan.String(), seed)
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -44,8 +81,16 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", cache.DefaultMaxEntries, "in-memory cache entry limit")
 	cacheBytes := flag.Int64("cache-bytes", cache.DefaultMaxBytes, "in-memory cache byte limit")
 	cacheDir := flag.String("cache-dir", "", "directory for the persistent cache tier (empty = memory only)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout: bound on slow-header clients")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout: bound on reading a whole request (netlists are small; slower means a stuck client)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout: reap idle keep-alive connections")
 	verbose := flag.Bool("v", false, "log solver progress")
 	flag.Parse()
+
+	if err := armFaultsFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "rficserve:", err)
+		os.Exit(1)
+	}
 
 	var tier cache.Cache = cache.NewLRU(*cacheEntries, *cacheBytes)
 	if *cacheDir != "" {
@@ -70,8 +115,20 @@ func main() {
 	srv := server.New(cfg)
 	defer srv.Close()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// The solve timeouts live in the engine (MaxSolveTime), so the HTTP
+	// timeouts only have to bound client misbehaviour, not solve time:
+	// WriteTimeout stays unset because a sync solve legitimately holds the
+	// response open for up to MaxSolveTime.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+	// SIGTERM is what init systems and orchestrators send first; treat it
+	// exactly like Ctrl-C and drain before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()

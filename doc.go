@@ -46,6 +46,11 @@
 //	                             rficbench -lp-compare: pivot rule × warm/cold
 //	                             × workers, byte-equality and pivot-regression
 //	                             checks
+//	internal/faultinject         seeded deterministic fault-injection registry
+//	                             (named points, per-point probability/budget);
+//	                             a fixed seed replays the identical fault
+//	                             schedule, a disabled registry costs one
+//	                             atomic load per injection point
 //
 // Cancellation flows top-down: every solve entry point has a Ctx variant
 // (engine.Run, pilp.GenerateCtx, ilpmodel.SolveAndExtractCtx, milp.SolveCtx,
@@ -84,6 +89,44 @@
 // (netlist.Canonical) plus the output-relevant solve options
 // (pilp.Options.Fingerprint), so a cache hit is byte-identical to
 // re-solving. rficgen -cache DIR and rficserve both sit behind this cache.
+//
+// # Failure domains
+//
+// Failures are contained at the job boundary and degrade quality before
+// availability:
+//
+//   - Panic isolation. A panic anywhere inside a solve — the pilp flow, the
+//     shared worker pool, a solver bug — is recovered by engine.Run (and by
+//     a second firewall in server.runJob) into a per-job *engine.PanicError
+//     carrying the panic value and goroutine stack. The job fails with a
+//     500; the process, its queue and its neighbours keep running. The
+//     `panics` counter on /healthz counts every recovered panic.
+//   - Anytime degradation. When a deadline or cancellation fires mid-flow,
+//     a request that opted in with accept_partial=1 receives the best
+//     layout reached so far, marked `partial` with the phase reached and
+//     bound-gap stats (pilp Result.PartialPhase/MaxGap/InterruptedSolves),
+//     instead of an error. Partial results are never cached, and
+//     AcceptPartial is excluded from the cache fingerprint: a run that
+//     completes is byte-identical with the flag on or off.
+//   - Self-healing cache. The persistent tier records a SHA-256 per entry
+//     at write and verifies it at read; a mismatch (bit rot, torn write)
+//     quarantines the file aside as <key>.json.corrupt, counts it in the
+//     `corrupt` stat on /healthz, and misses so the flow re-solves — the
+//     next Put heals the entry. Transient read errors get a bounded
+//     deterministic retry.
+//   - Bounded intake. SIGINT/SIGTERM drain in-flight solves before exit,
+//     and rficserve bounds slow clients with header/read/idle timeouts.
+//
+// All of it is testable because faults are deterministic too:
+// internal/faultinject threads named injection points through the cache
+// tier (read/write/rename errors, torn writes), the conc pool (panics,
+// delays), engine job execution and the server admission queue. A seeded
+// plan fires an identical fault schedule every run, so the chaos battery
+// (rficbench -chaos, and TestChaosScheduleSurvival in internal/server) can
+// assert exact accounting: every /healthz counter reconciles against the
+// fired-fault counts, and once budgets exhaust the layouts are
+// byte-identical to a fault-free run. rficserve arms the same registry from
+// RFIC_FAULTS/RFIC_FAULT_SEED for staging drills.
 //
 // # Serving quick start
 //

@@ -81,6 +81,9 @@ type Stats struct {
 	Evictions int64 `json:"evictions"`
 	Entries   int   `json:"entries"`
 	Bytes     int64 `json:"bytes"`
+	// Corrupt counts entries that failed checksum or decode verification and
+	// were quarantined (persistent tier only; always a miss, never bad data).
+	Corrupt int64 `json:"corrupt"`
 }
 
 // StatsReader is implemented by tiers that report effectiveness counters;

@@ -1,6 +1,8 @@
 package cache
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -9,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rficlayout/internal/faultinject"
 	"rficlayout/internal/pilp"
 )
 
@@ -18,11 +21,24 @@ import (
 // solved. Writes go through a temp file + rename so concurrent processes
 // sharing a directory never observe torn entries. Dir is safe for concurrent
 // use; all I/O errors degrade to cache misses or dropped writes.
+//
+// The tier is self-healing: every entry records the SHA-256 of its layout
+// text at write time and Get verifies it (plus JSON well-formedness) at read
+// time. A corrupt entry is quarantined — renamed to <key>.json.corrupt so it
+// stops matching the entry suffix but survives for forensics — counted in
+// Stats.Corrupt, and reported as a miss, so the caller re-solves and the next
+// Put overwrites the bad entry with a good one. Transient injected read
+// errors (faultinject) are retried a bounded, deterministic number of times
+// before degrading to a miss.
 type Dir struct {
-	path   string
-	hits   atomic.Int64
-	misses atomic.Int64
+	path    string
+	hits    atomic.Int64
+	misses  atomic.Int64
+	corrupt atomic.Int64
 }
+
+// readRetries bounds the deterministic retry loop for transient read errors.
+const readRetries = 3
 
 // NewDir opens (creating if needed) a directory-backed cache tier.
 func NewDir(path string) (*Dir, error) {
@@ -36,8 +52,12 @@ func NewDir(path string) (*Dir, error) {
 // monolithic solves, so entries written before sharding existed decode
 // unchanged.
 type diskEntry struct {
-	Circuit   string       `json:"circuit"`
-	Layout    string       `json:"layout"`
+	Circuit string `json:"circuit"`
+	Layout  string `json:"layout"`
+	// Checksum is the hex SHA-256 of Layout, written since the self-healing
+	// tier landed; entries without it (or written before it) skip
+	// verification, so old caches keep working.
+	Checksum  string       `json:"sha256,omitempty"`
 	RuntimeNS int64        `json:"runtime_ns"`
 	Nodes     int          `json:"nodes"`
 	Shards    int          `json:"shards,omitempty"`
@@ -108,19 +128,26 @@ func (d *Dir) file(key string) string {
 }
 
 // Get reads the entry stored under key; any read or decode failure is a
-// miss.
+// miss. Decode failures and checksum mismatches additionally quarantine the
+// file so the same corrupt entry is never re-read.
 func (d *Dir) Get(key string) (Entry, bool) {
 	if !keyOK(key) {
 		d.misses.Add(1)
 		return Entry{}, false
 	}
-	data, err := os.ReadFile(d.file(key))
+	data, err := d.read(d.file(key))
 	if err != nil {
 		d.misses.Add(1)
 		return Entry{}, false
 	}
 	var de diskEntry
 	if err := json.Unmarshal(data, &de); err != nil {
+		d.quarantine(key)
+		d.misses.Add(1)
+		return Entry{}, false
+	}
+	if de.Checksum != "" && de.Checksum != layoutChecksum(de.Layout) {
+		d.quarantine(key)
 		d.misses.Add(1)
 		return Entry{}, false
 	}
@@ -135,15 +162,58 @@ func (d *Dir) Get(key string) (Entry, bool) {
 	}, true
 }
 
+// read is os.ReadFile plus the injected-transient-error retry loop: an
+// injected read error is retried up to readRetries times (the injection
+// schedule is deterministic, so so is the retry outcome); real I/O errors
+// degrade to a miss immediately, as before.
+func (d *Dir) read(path string) ([]byte, error) {
+	var err error
+	for attempt := 0; attempt <= readRetries; attempt++ {
+		if err = faultinject.ErrorAt(faultinject.PointCacheRead); err != nil {
+			continue
+		}
+		var data []byte
+		if data, err = os.ReadFile(path); err != nil {
+			return nil, err
+		}
+		return data, nil
+	}
+	return nil, err
+}
+
+// quarantine renames a corrupt entry to <key>.json.corrupt — off the entry
+// namespace (Stats and Get only look at *.json) but preserved for forensics.
+// If the rename fails the file is removed outright; either way the corrupt
+// bytes can never be served.
+func (d *Dir) quarantine(key string) {
+	d.corrupt.Add(1)
+	path := d.file(key)
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		os.Remove(path)
+	}
+}
+
+// layoutChecksum is the per-entry integrity hash: hex SHA-256 of the layout
+// text, the one field whose silent corruption would poison downstream
+// byte-identity guarantees.
+func layoutChecksum(layout string) string {
+	sum := sha256.Sum256([]byte(layout))
+	return hex.EncodeToString(sum[:])
+}
+
 // Put writes the entry under key; failures are silently dropped (the cache
 // is an optimization, never a correctness dependency).
 func (d *Dir) Put(key string, e Entry) {
 	if !keyOK(key) {
 		return
 	}
+	if err := faultinject.ErrorAt(faultinject.PointCacheWrite); err != nil {
+		return
+	}
 	data, err := json.Marshal(diskEntry{
 		Circuit:   e.Circuit,
 		Layout:    string(e.Layout),
+		Checksum:  layoutChecksum(string(e.Layout)),
 		RuntimeNS: int64(e.Runtime),
 		Nodes:     e.Nodes,
 		Shards:    e.Shards,
@@ -152,6 +222,12 @@ func (d *Dir) Put(key string, e Entry) {
 	})
 	if err != nil {
 		return
+	}
+	if faultinject.Fired(faultinject.PointCacheTorn) {
+		// A torn write commits only a prefix of the entry: either truncated
+		// JSON (decode failure) or — because the checksum field precedes the
+		// layout tail — a mismatching checksum. Both trip quarantine on read.
+		data = data[:len(data)/2]
 	}
 	tmp, err := os.CreateTemp(d.path, "put-*.tmp")
 	if err != nil {
@@ -164,6 +240,10 @@ func (d *Dir) Put(key string, e Entry) {
 		os.Remove(name)
 		return
 	}
+	if err := faultinject.ErrorAt(faultinject.PointCacheRename); err != nil {
+		os.Remove(name)
+		return
+	}
 	if err := os.Rename(name, d.file(key)); err != nil {
 		os.Remove(name)
 	}
@@ -172,7 +252,7 @@ func (d *Dir) Put(key string, e Entry) {
 // Stats reports the hit/miss counters of this process plus the directory's
 // current footprint (entry files and their byte total, scanned on demand).
 func (d *Dir) Stats() Stats {
-	s := Stats{Hits: d.hits.Load(), Misses: d.misses.Load()}
+	s := Stats{Hits: d.hits.Load(), Misses: d.misses.Load(), Corrupt: d.corrupt.Load()}
 	entries, err := os.ReadDir(d.path)
 	if err != nil {
 		return s
@@ -232,6 +312,11 @@ func (t *Tiered) Stats() Stats {
 		s.Evictions = fs.Evictions
 		s.Entries = fs.Entries
 		s.Bytes = fs.Bytes
+	}
+	// Corruption only happens in the persistent (slow) tier; surface it so
+	// /healthz sees quarantines even behind the memory tier.
+	if sr, ok := t.slow.(StatsReader); ok {
+		s.Corrupt = sr.Stats().Corrupt
 	}
 	return s
 }

@@ -1,0 +1,233 @@
+package cache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rficlayout/internal/faultinject"
+)
+
+// arm installs a fault plan on the global registry for one test; the
+// injection points in Dir consult it. Tests using it must not run parallel.
+func arm(t *testing.T, spec string, seed int64) *faultinject.Registry {
+	t.Helper()
+	plan, err := faultinject.ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := faultinject.New(plan, seed)
+	faultinject.Enable(r)
+	t.Cleanup(faultinject.Disable)
+	return r
+}
+
+// corruptLayout rewrites the stored entry with a flipped layout text but the
+// original checksum — silent bit rot, the exact failure the checksum exists
+// to catch.
+func corruptLayout(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var de diskEntry
+	if err := json.Unmarshal(data, &de); err != nil {
+		t.Fatal(err)
+	}
+	de.Layout = strings.Replace(de.Layout, "1", "9", 1)
+	out, err := json.Marshal(de)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirChecksumQuarantine(t *testing.T) {
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(key(1), entry("a", "layout a\nplace M1 1 2 R0\n"))
+	corruptLayout(t, d.file(key(1)))
+
+	if _, ok := d.Get(key(1)); ok {
+		t.Fatal("checksum-mismatched entry served as a hit")
+	}
+	st := d.Stats()
+	if st.Corrupt != 1 {
+		t.Errorf("corrupt = %d, want 1", st.Corrupt)
+	}
+	if st.Entries != 0 {
+		t.Errorf("entries = %d, want 0 (quarantined file must leave the entry namespace)", st.Entries)
+	}
+	if _, err := os.Stat(d.file(key(1)) + ".corrupt"); err != nil {
+		t.Errorf("quarantined file missing: %v", err)
+	}
+	// Self-healing: the re-solve's Put overwrites, and the entry serves again.
+	d.Put(key(1), entry("a", "layout a\nplace M1 1 2 R0\n"))
+	if _, ok := d.Get(key(1)); !ok {
+		t.Fatal("miss after healing Put")
+	}
+}
+
+func TestDirTornJSONQuarantine(t *testing.T) {
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(key(2), entry("b", "layout b"))
+	data, err := os.ReadFile(d.file(key(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d.file(key(2)), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get(key(2)); ok {
+		t.Fatal("torn JSON served as a hit")
+	}
+	if st := d.Stats(); st.Corrupt != 1 {
+		t.Errorf("corrupt = %d, want 1", st.Corrupt)
+	}
+}
+
+// Entries written before the checksum existed carry no sha256 field and must
+// keep decoding as plain hits.
+func TestDirLegacyEntryWithoutChecksum(t *testing.T) {
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := json.Marshal(map[string]interface{}{
+		"circuit": "old", "layout": "layout old\n", "runtime_ns": 1000, "nodes": 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d.file(key(3)), legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := d.Get(key(3))
+	if !ok {
+		t.Fatal("legacy entry without checksum rejected")
+	}
+	if e.Circuit != "old" || string(e.Layout) != "layout old\n" {
+		t.Errorf("legacy entry mangled: %+v", e)
+	}
+	if st := d.Stats(); st.Corrupt != 0 {
+		t.Errorf("corrupt = %d, want 0", st.Corrupt)
+	}
+}
+
+func TestDirInjectedTornWriteSelfHeals(t *testing.T) {
+	r := arm(t, "cache.dir.torn=1/1", 7)
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := entry("t", "layout t\nplace M1 1 2 R0\n")
+	d.Put(key(4), want) // torn: commits half the entry
+	if _, ok := d.Get(key(4)); ok {
+		t.Fatal("torn entry served as a hit")
+	}
+	if st := d.Stats(); st.Corrupt != 1 {
+		t.Errorf("corrupt = %d, want 1", st.Corrupt)
+	}
+	d.Put(key(4), want) // budget exhausted: clean write heals the entry
+	got, ok := d.Get(key(4))
+	if !ok {
+		t.Fatal("miss after healing Put")
+	}
+	if string(got.Layout) != string(want.Layout) {
+		t.Errorf("healed layout = %q, want %q", got.Layout, want.Layout)
+	}
+	if fired := r.FiredTotal(faultinject.PointCacheTorn); fired != 1 {
+		t.Errorf("torn fired %d times, want 1", fired)
+	}
+}
+
+func TestDirInjectedReadErrorRetries(t *testing.T) {
+	// Budget below the retry bound: the bounded retry absorbs the transient
+	// errors and the read still hits.
+	arm(t, "cache.dir.read=1/2", 11)
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(key(5), entry("r", "layout r"))
+	if _, ok := d.Get(key(5)); !ok {
+		t.Fatal("bounded retry did not absorb 2 injected read errors")
+	}
+	if st := d.Stats(); st.Hits != 1 || st.Corrupt != 0 {
+		t.Errorf("stats = %+v, want 1 hit 0 corrupt", st)
+	}
+}
+
+func TestDirInjectedReadErrorExhaustsRetries(t *testing.T) {
+	// More consecutive injected errors than retries: degrade to a miss, no
+	// quarantine (the file itself is fine).
+	arm(t, "cache.dir.read=1/8", 11)
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(key(6), entry("r", "layout r"))
+	if _, ok := d.Get(key(6)); ok {
+		t.Fatal("hit through more injected errors than the retry bound")
+	}
+	st := d.Stats()
+	if st.Misses != 1 || st.Corrupt != 0 {
+		t.Errorf("stats = %+v, want 1 miss 0 corrupt", st)
+	}
+	faultinject.Disable()
+	if _, ok := d.Get(key(6)); !ok {
+		t.Fatal("entry not served once faults clear")
+	}
+}
+
+func TestDirInjectedWriteAndRenameDropEntry(t *testing.T) {
+	arm(t, "cache.dir.write=1/1,cache.dir.rename=1/1", 3)
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(key(7), entry("w", "layout w")) // write error: dropped
+	d.Put(key(7), entry("w", "layout w")) // rename error: dropped
+	if _, ok := d.Get(key(7)); ok {
+		t.Fatal("entry survived injected write+rename failures")
+	}
+	// No stray temp files may accumulate from the failed writes.
+	matches, err := filepath.Glob(filepath.Join(d.path, "put-*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("stray temp files after injected failures: %v", matches)
+	}
+	d.Put(key(7), entry("w", "layout w")) // budgets exhausted: lands
+	if _, ok := d.Get(key(7)); !ok {
+		t.Fatal("miss after faults cleared")
+	}
+}
+
+func TestTieredStatsSurfaceCorrupt(t *testing.T) {
+	fast := NewLRU(4, 0)
+	slow, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(fast, slow)
+	slow.Put(key(8), entry("c", "layout c\nplace M1 1 2 R0\n"))
+	corruptLayout(t, slow.file(key(8)))
+	if _, ok := tiered.Get(key(8)); ok {
+		t.Fatal("corrupt slow-tier entry served through the tiered cache")
+	}
+	if st := tiered.Stats(); st.Corrupt != 1 {
+		t.Errorf("tiered corrupt = %d, want 1", st.Corrupt)
+	}
+}

@@ -8,7 +8,20 @@ package conc
 import (
 	"context"
 	"sync"
+	"time"
+
+	"rficlayout/internal/faultinject"
 )
+
+// runJob is every job invocation's single entry: both the sequential and the
+// pooled path go through it so the fault-injection points (a scheduling delay
+// that must never change results, and a job panic that exercises the callers'
+// isolation layers) fire identically regardless of worker count.
+func runJob(fn func(int), i int) {
+	faultinject.SleepAt(faultinject.PointConcDelay, time.Millisecond)
+	faultinject.PanicAt(faultinject.PointConcPanic)
+	fn(i)
+}
 
 // ForEach executes fn(0..n-1) on a pool of at most workers goroutines and
 // waits for all of them. With one worker (or one job) it degrades to a plain
@@ -27,7 +40,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(int)) {
 			if ctx.Err() != nil {
 				return
 			}
-			fn(i)
+			runJob(fn, i)
 		}
 		return
 	}
@@ -55,7 +68,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(int)) {
 				}
 				<-sem
 			}()
-			fn(i)
+			runJob(fn, i)
 		}(i)
 	}
 	wg.Wait()

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"rficlayout/internal/faultinject"
 )
 
 func TestForEachRunsEveryJob(t *testing.T) {
@@ -64,5 +66,62 @@ func TestForEachSkipsAfterCancel(t *testing.T) {
 	ForEach(ctx, 4, 16, func(int) { atomic.AddInt32(&ran, 1) })
 	if ran != 0 {
 		t.Errorf("%d jobs ran under a pre-cancelled context", ran)
+	}
+}
+
+// TestForEachInjectedDelayIsResultInvariant arms the conc.delay point on
+// every job and checks the pool's output is unchanged — scheduling
+// perturbation must never leak into results, which is the determinism
+// contract the chaos battery leans on.
+func TestForEachInjectedDelayIsResultInvariant(t *testing.T) {
+	plan, err := faultinject.ParsePlan(faultinject.PointConcDelay + "=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(faultinject.New(plan, 1))
+	t.Cleanup(faultinject.Disable)
+	for _, workers := range []int{1, 4} {
+		n := 8
+		out := make([]int, n)
+		ForEach(context.Background(), workers, n, func(i int) { out[i] = i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d under injected delays", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestForEachInjectedPanicReachesCaller arms conc.panic and checks both the
+// sequential and the pooled path re-raise the injected panic on the calling
+// goroutine with its deterministic message — where engine.Run's per-job
+// recover isolates it.
+func TestForEachInjectedPanicReachesCaller(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		plan, err := faultinject.ParsePlan(faultinject.PointConcPanic + "=1/1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		faultinject.Enable(faultinject.New(plan, 1))
+		t.Cleanup(faultinject.Disable)
+		func() {
+			defer func() {
+				r := recover()
+				p, ok := r.(faultinject.Panic)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %v (%T), want faultinject.Panic", workers, r, r)
+				}
+				if p.Point != faultinject.PointConcPanic {
+					t.Fatalf("workers=%d: panic from point %q", workers, p.Point)
+				}
+			}()
+			ForEach(context.Background(), workers, 8, func(int) {})
+		}()
+		// Budget spent: the pool runs clean again.
+		ran := int32(0)
+		ForEach(context.Background(), workers, 4, func(int) { atomic.AddInt32(&ran, 1) })
+		if ran != 4 {
+			t.Fatalf("workers=%d: %d/4 jobs ran after the panic budget was spent", workers, ran)
+		}
 	}
 }

@@ -10,12 +10,32 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"rficlayout/internal/faultinject"
 	"rficlayout/internal/netlist"
 	"rficlayout/internal/pilp"
 )
+
+// PanicError is the job error produced when a solve panics: the panic value
+// plus the goroutine stack captured at recovery, so an isolated panic is
+// still fully diagnosable from the job result (or the server log) alone.
+// Serving layers match it with errors.As to count panics separately from
+// ordinary solve failures.
+type PanicError struct {
+	// Job names the job that panicked.
+	Job string
+	// Value is the recovered panic value.
+	Value interface{}
+	// Stack is the stack of the panicking goroutine (debug.Stack output).
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: job %s panicked: %v", e.Job, e.Value)
+}
 
 // Job is one circuit to lay out.
 type Job struct {
@@ -65,8 +85,13 @@ type Result struct {
 	// adjustment (pilp.Result.Shards); nil when the flow ran the monolithic
 	// phase 1 or failed before solving.
 	Shards []pilp.ShardStat
-	Result *pilp.Result
-	Err    error
+	// Partial reports that the flow was interrupted by deadline or
+	// cancellation and Result holds the best layout found so far rather than
+	// the fully refined one (pilp.Result.Partial; requires
+	// Options.AcceptPartial).
+	Partial bool
+	Result  *pilp.Result
+	Err     error
 }
 
 // Options tunes a Run.
@@ -127,6 +152,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) []Result {
 				results[i].Nodes = results[i].Result.Nodes
 				results[i].LP = results[i].Result.LP
 				results[i].Shards = results[i].Result.Shards
+				results[i].Partial = results[i].Result.Partial
 			}
 			if results[i].Err != nil {
 				opts.logf("engine: job %s failed after %v: %v", results[i].Name, results[i].Runtime, results[i].Err)
@@ -146,11 +172,12 @@ func runOne(ctx context.Context, job Job) (res *pilp.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
-			err = fmt.Errorf("engine: job %s panicked: %v", job.name(), r)
+			err = &PanicError{Job: job.name(), Value: r, Stack: debug.Stack()}
 		}
 	}()
 	if job.Circuit == nil {
 		return nil, fmt.Errorf("engine: job %s has no circuit", job.name())
 	}
+	faultinject.PanicAt(faultinject.PointEnginePanic)
 	return pilp.GenerateCtx(ctx, job.Circuit, job.Options)
 }

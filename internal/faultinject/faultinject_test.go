@@ -1,0 +1,288 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParsePlan(t *testing.T) {
+	cases := []struct {
+		spec    string
+		want    Plan
+		wantErr bool
+	}{
+		{spec: "", want: Plan{}},
+		{spec: "  ,; ", want: Plan{}},
+		{spec: "cache.dir.read=1", want: Plan{"cache.dir.read": {Prob: 1}}},
+		{spec: "cache.dir.read=0.5/3", want: Plan{"cache.dir.read": {Prob: 0.5, Budget: 3}}},
+		{
+			spec: "conc.panic=0.02/2,cache.dir.torn=1/1;server.admit=0.1",
+			want: Plan{
+				"conc.panic":     {Prob: 0.02, Budget: 2},
+				"cache.dir.torn": {Prob: 1, Budget: 1},
+				"server.admit":   {Prob: 0.1},
+			},
+		},
+		{spec: "noequals", wantErr: true},
+		{spec: "=0.5", wantErr: true},
+		{spec: "p=1.5", wantErr: true},
+		{spec: "p=-0.1", wantErr: true},
+		{spec: "p=abc", wantErr: true},
+		{spec: "p=0.5/0", wantErr: true},
+		{spec: "p=0.5/-1", wantErr: true},
+		{spec: "p=0.5/x", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := ParsePlan(tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParsePlan(%q): want error, got %v", tc.spec, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePlan(%q): %v", tc.spec, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("ParsePlan(%q) = %v, want %v", tc.spec, got, tc.want)
+			continue
+		}
+		for name, spec := range tc.want {
+			if got[name] != spec {
+				t.Errorf("ParsePlan(%q)[%s] = %v, want %v", tc.spec, name, got[name], spec)
+			}
+		}
+	}
+}
+
+func TestPlanStringRoundTrip(t *testing.T) {
+	plan, err := ParsePlan("conc.panic=0.02/2,cache.dir.read=1/3,server.admit=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.String()
+	want := "cache.dir.read=1/3,conc.panic=0.02/2,server.admit=0.25"
+	if s != want {
+		t.Fatalf("Plan.String() = %q, want %q", s, want)
+	}
+	back, err := ParsePlan(s)
+	if err != nil {
+		t.Fatalf("round trip parse: %v", err)
+	}
+	if back.String() != want {
+		t.Fatalf("round trip = %q, want %q", back.String(), want)
+	}
+}
+
+// Same seed, same sequence of Fire calls: identical decisions. Different
+// seed: some decision differs (with overwhelming probability at prob 0.5
+// over 200 draws).
+func TestFireDeterministicPerSeed(t *testing.T) {
+	plan := Plan{"p": {Prob: 0.5}}
+	run := func(seed int64) []bool {
+		r := New(plan, seed)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = r.Fire("p")
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at occurrence %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 200-draw schedules")
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired < 50 || fired > 150 {
+		t.Fatalf("prob 0.5 fired %d/200 times — draw badly biased", fired)
+	}
+}
+
+func TestProbEdges(t *testing.T) {
+	r := New(Plan{"never": {Prob: 0}, "always": {Prob: 1}}, 7)
+	for i := 0; i < 50; i++ {
+		if r.Fire("never") {
+			t.Fatal("prob 0 fired")
+		}
+		if !r.Fire("always") {
+			t.Fatal("prob 1 did not fire")
+		}
+	}
+	if r.Fire("unarmed") {
+		t.Fatal("unarmed point fired")
+	}
+}
+
+func TestBudget(t *testing.T) {
+	r := New(Plan{"p": {Prob: 1, Budget: 3}}, 1)
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if r.Fire("p") {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("budget 3: fired %d times", fired)
+	}
+	c := r.Counts()["p"]
+	if c.Hits != 10 || c.Fired != 3 {
+		t.Fatalf("counts = %+v, want hits 10 fired 3", c)
+	}
+	if got := r.FiredTotal("p"); got != 3 {
+		t.Fatalf("FiredTotal = %d, want 3", got)
+	}
+}
+
+// Concurrent Fire calls must agree with the recomputed schedule: the set of
+// fired occurrences is a pure function of (seed, plan, hits), regardless of
+// which goroutine observed which occurrence.
+func TestConcurrentFireMatchesSchedule(t *testing.T) {
+	plan := Plan{"p": {Prob: 0.3, Budget: 20}}
+	r := New(plan, 99)
+	const hits = 512
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < hits/8; i++ {
+				r.Fire("p")
+			}
+		}()
+	}
+	wg.Wait()
+
+	c := r.Counts()["p"]
+	if c.Hits != hits {
+		t.Fatalf("hits = %d, want %d", c.Hits, hits)
+	}
+	// Recompute the expected fired count the way WriteSchedule does.
+	expect := int64(0)
+	for n := int64(0); n < hits; n++ {
+		if expect >= 20 {
+			break
+		}
+		if decide(99, "p", n, 0.3) {
+			expect++
+		}
+	}
+	if c.Fired != expect {
+		t.Fatalf("fired = %d, recomputed schedule says %d", c.Fired, expect)
+	}
+}
+
+func TestWriteScheduleReplay(t *testing.T) {
+	run := func() *bytes.Buffer {
+		r := New(Plan{"a": {Prob: 0.4, Budget: 5}, "b": {Prob: 1, Budget: 2}}, 1234)
+		for i := 0; i < 40; i++ {
+			r.Fire("a")
+		}
+		for i := 0; i < 10; i++ {
+			r.Fire("b")
+		}
+		var buf bytes.Buffer
+		if err := r.WriteSchedule(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	first, second := run(), run()
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("schedule not byte-identical across replays:\n%s\nvs\n%s", first, second)
+	}
+	out := first.String()
+	if !strings.Contains(out, `"point":"b","occurrence":0,"fired":true`) {
+		t.Fatalf("schedule missing b occurrence 0:\n%s", out)
+	}
+	if !strings.Contains(out, `"hits":40`) || !strings.Contains(out, `"hits":10,"total_fired":2`) {
+		t.Fatalf("schedule missing summary lines:\n%s", out)
+	}
+	// Points must appear in sorted order: every "a" line before any "b" line.
+	if strings.Index(out, `"point":"b"`) < strings.LastIndex(out, `"point":"a"`) {
+		t.Fatalf("schedule points not sorted:\n%s", out)
+	}
+}
+
+func TestGlobalHelpers(t *testing.T) {
+	Disable()
+	t.Cleanup(Disable)
+	if Fired("p") {
+		t.Fatal("disabled registry fired")
+	}
+	if err := ErrorAt("p"); err != nil {
+		t.Fatalf("disabled ErrorAt = %v", err)
+	}
+	PanicAt("p") // must not panic when disabled
+	SleepAt("p", time.Hour)
+
+	Enable(New(Plan{"p": {Prob: 1, Budget: 2}}, 5))
+	if Active() == nil {
+		t.Fatal("Active() nil after Enable")
+	}
+	err := ErrorAt("p")
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("ErrorAt = %v, want ErrInjected match", err)
+	}
+	if want := "faultinject: injected error at p"; err.Error() != want {
+		t.Fatalf("error = %q, want %q", err.Error(), want)
+	}
+	func() {
+		defer func() {
+			v := recover()
+			p, ok := v.(Panic)
+			if !ok {
+				t.Fatalf("recovered %v (%T), want faultinject.Panic", v, v)
+			}
+			if want := "faultinject: injected panic at p"; p.String() != want {
+				t.Fatalf("panic message %q, want %q", p.String(), want)
+			}
+		}()
+		PanicAt("p")
+	}()
+	// Budget exhausted: no further fires.
+	if Fired("p") {
+		t.Fatal("fired past budget")
+	}
+	Disable()
+	if Fired("p") {
+		t.Fatal("fired after Disable")
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	if r.Fire("p") {
+		t.Fatal("nil registry fired")
+	}
+	if r.Counts() != nil {
+		t.Fatal("nil registry counts non-nil")
+	}
+	if err := r.WriteSchedule(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.FiredTotal() != 0 {
+		t.Fatal("nil registry FiredTotal non-zero")
+	}
+}

@@ -184,6 +184,12 @@ type Result struct {
 	// was rejected, 0/0 when no seed was given.
 	WarmSeedAccepted int
 	WarmSeedRejected int
+	// Cancelled reports that the solve stopped because its context was
+	// cancelled (deadline or explicit cancel) rather than by exhausting the
+	// search or an internal limit. A cancelled solve may still carry an
+	// incumbent (StatusFeasible) — the anytime contract: cancellation costs
+	// proof quality, never the best solution found so far.
+	Cancelled bool
 }
 
 // Gap returns the relative gap between incumbent and bound (0 when proven
@@ -565,6 +571,7 @@ search:
 	}
 
 	res.Runtime = time.Since(start)
+	res.Cancelled = ctx.Err() != nil
 	if res.X != nil {
 		if !timedOut && open.Len() == 0 {
 			res.Status = StatusOptimal

@@ -3,6 +3,7 @@ package pilp
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync/atomic"
@@ -95,6 +96,14 @@ type Options struct {
 	// covers warm starts); the flag exists so harnesses (rficbench
 	// -lp-compare) can measure the warm-start saving.
 	ColdLP bool
+	// AcceptPartial switches GenerateCtx from fail-on-cancellation to anytime
+	// degradation: when the flow's context is cancelled between phases, the
+	// flow returns the best layout it holds at that point with Result.Partial
+	// set (plus bound-gap stats) instead of the context error. Quality
+	// degrades, availability does not. Excluded from Fingerprint: when no
+	// limit binds it cannot change the layout, and partial results are never
+	// written to the cache, so the flag can never conflate cache entries.
+	AcceptPartial bool
 	// Logf, when non-nil, receives progress messages. With Workers > 1 it may
 	// be called from concurrent solver goroutines and must be safe for that
 	// (testing.T.Logf and log.Printf both are).
@@ -107,6 +116,12 @@ type Options struct {
 	nodes *atomic.Int64
 	// lpStats accumulates the simplex-level effort counters the same way.
 	lpStats *lpCounters
+	// maxGapBits tracks the worst relative incumbent/bound gap over the MILP
+	// solves that returned an incumbent, as float64 bits (non-negative floats
+	// order identically as uint64 bits, so an atomic CAS-max works).
+	maxGapBits *atomic.Uint64
+	// interrupted counts MILP solves stopped by context cancellation.
+	interrupted *atomic.Int64
 }
 
 func (o Options) chainPoints() int {
@@ -203,6 +218,22 @@ func (o Options) countSolve(r *milp.Result) {
 	if o.lpStats != nil {
 		o.lpStats.add(r)
 	}
+	if o.interrupted != nil && r.Cancelled {
+		o.interrupted.Add(1)
+	}
+	// Fold the solve's incumbent gap into the flow-wide max. +Inf means "no
+	// incumbent" and carries no bound information, so it is skipped.
+	if o.maxGapBits != nil {
+		if gap := r.Gap(); gap > 0 && !math.IsInf(gap, 1) {
+			bits := math.Float64bits(gap)
+			for {
+				cur := o.maxGapBits.Load()
+				if bits <= cur || o.maxGapBits.CompareAndSwap(cur, bits) {
+					break
+				}
+			}
+		}
+	}
 }
 
 // LPStats aggregates the simplex-level effort of every MILP solve in one
@@ -273,8 +304,11 @@ func (o Options) milpOptions(timeLimit time.Duration, workers int) milp.SolveOpt
 // included because a binding limit changes the result. PivotRule and ColdLP
 // are included conservatively: the LP layer's vertex canonicalization makes
 // them layout-invariant, but the cache never conflates them — they change
-// the reported effort counters, and defence in depth is cheap here. The
-// result cache hashes this string alongside the canonical circuit text.
+// the reported effort counters, and defence in depth is cheap here.
+// AcceptPartial is excluded like Workers (see its doc: partial results are
+// never cached, and a completed AcceptPartial run is byte-identical to a
+// normal one). The result cache hashes this string alongside the canonical
+// circuit text.
 func (o Options) Fingerprint() string {
 	return fmt.Sprintf("chain=%d maxchain=%d conf=%d pair=%d striplimit=%s phaselimit=%s stripnodes=%d p1nodes=%d refine=%d rot=%v shard=%d sharditer=%d shardtol=%d pivot=%s coldlp=%v",
 		o.chainPoints(), o.maxChainPoints(), o.confinement(), o.pairRadius(),
@@ -316,6 +350,24 @@ type Result struct {
 	// adjustment, in cluster order. Nil when phase 1 ran monolithically
 	// (ShardSize zero or the circuit below the shard threshold).
 	Shards []ShardStat
+	// Partial reports anytime degradation: the flow's context was cancelled
+	// mid-run and (under Options.AcceptPartial) Layout holds the best layout
+	// reached so far instead of the fully refined one. Partial results are
+	// real layouts — constructed, routed, DRC-checkable — just not carried
+	// through every remaining phase.
+	Partial bool
+	// PartialPhase names the last phase snapshot the partial layout reached
+	// ("construct" when cancellation hit before phase 1 finished). Empty when
+	// Partial is false.
+	PartialPhase string
+	// MaxGap is the worst relative incumbent/bound gap across the MILP solves
+	// that found an incumbent — how far from proven-optimal the most
+	// interrupted solve stopped. Zero when every solve proved optimality;
+	// meaningful mainly alongside Partial or InterruptedSolves.
+	MaxGap float64
+	// InterruptedSolves counts MILP solves stopped by context cancellation
+	// (deadline or cancel) rather than by search exhaustion or node budget.
+	InterruptedSolves int
 }
 
 // Violations returns the design-rule violations of the final layout.
@@ -356,7 +408,10 @@ func Generate(c *netlist.Circuit, opts Options) (*Result, error) {
 // GenerateCtx runs the full progressive flow under a context. Cancellation
 // stops the flow at the next solve boundary and returns the context error; a
 // context that is already cancelled returns promptly without solving
-// anything.
+// anything. With Options.AcceptPartial set, cancellation after the initial
+// construction instead returns the best layout reached so far with
+// Result.Partial set — anytime degradation: the caller trades refinement
+// quality for a guaranteed layout under its deadline.
 //
 // Determinism: the phase-2 and phase-3 per-strip (and per-rotation)
 // subproblems are solved concurrently on opts.Workers goroutines, but each
@@ -380,7 +435,25 @@ func GenerateCtx(ctx context.Context, c *netlist.Circuit, opts Options) (*Result
 	c = netlist.Normalized(c)
 	opts.nodes = new(atomic.Int64)
 	opts.lpStats = new(lpCounters)
+	opts.maxGapBits = new(atomic.Uint64)
+	opts.interrupted = new(atomic.Int64)
 	res := &Result{}
+
+	// finish seals the result with the flow-wide effort and gap totals; a
+	// non-empty phase marks it as an anytime partial stopped at that phase.
+	finish := func(l *layout.Layout, partialPhase string) *Result {
+		res.Layout = l
+		res.Runtime = time.Since(start)
+		res.Nodes = int(opts.nodes.Load())
+		res.LP = opts.lpStats.snapshot()
+		res.MaxGap = math.Float64frombits(opts.maxGapBits.Load())
+		res.InterruptedSolves = int(opts.interrupted.Load())
+		if partialPhase != "" {
+			res.Partial = true
+			res.PartialPhase = partialPhase
+		}
+		return res
+	}
 
 	// Phase 1a: constructive placement and planar routing with blurred
 	// device clearances.
@@ -389,6 +462,13 @@ func GenerateCtx(ctx context.Context, c *netlist.Circuit, opts Options) (*Result
 		return nil, err
 	}
 	opts.logf("pilp: constructed initial layout: %s", current.Metrics())
+	if err := ctx.Err(); err != nil {
+		if !opts.AcceptPartial {
+			return nil, err
+		}
+		res.addSnapshot("construct", current, time.Since(start))
+		return finish(current, "construct"), nil
+	}
 
 	// Phase 1b: global coordinate adjustment — soft lengths, penalized
 	// overlap, relative positions kept, topology fixed (Eq. 23–28). With
@@ -404,7 +484,10 @@ func GenerateCtx(ctx context.Context, c *netlist.Circuit, opts Options) (*Result
 	res.addSnapshot("phase1-blurred-routing", current, time.Since(start))
 	opts.logf("pilp: phase 1 done: %s", current.Metrics())
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		if !opts.AcceptPartial {
+			return nil, err
+		}
+		return finish(current, "phase1-blurred-routing"), nil
 	}
 
 	// Phase 2: device visualization and overlap fixing — per-strip exact
@@ -413,7 +496,10 @@ func GenerateCtx(ctx context.Context, c *netlist.Circuit, opts Options) (*Result
 	res.addSnapshot("phase2-overlap-fixing", current, time.Since(start))
 	opts.logf("pilp: phase 2 done: %s", current.Metrics())
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		if !opts.AcceptPartial {
+			return nil, err
+		}
+		return finish(current, "phase2-overlap-fixing"), nil
 	}
 
 	// Phase 3: iterative refinement with chain-point deletion/insertion and
@@ -422,14 +508,13 @@ func GenerateCtx(ctx context.Context, c *netlist.Circuit, opts Options) (*Result
 	res.addSnapshot("phase3-refinement", current, time.Since(start))
 	opts.logf("pilp: phase 3 done: %s", current.Metrics())
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		if !opts.AcceptPartial {
+			return nil, err
+		}
+		return finish(current, "phase3-refinement"), nil
 	}
 
-	res.Layout = current
-	res.Runtime = time.Since(start)
-	res.Nodes = int(opts.nodes.Load())
-	res.LP = opts.lpStats.snapshot()
-	return res, nil
+	return finish(current, ""), nil
 }
 
 func (r *Result) addSnapshot(phase string, l *layout.Layout, elapsed time.Duration) {

@@ -15,6 +15,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -26,6 +27,7 @@ import (
 
 	"rficlayout/internal/cache"
 	"rficlayout/internal/engine"
+	"rficlayout/internal/faultinject"
 	"rficlayout/internal/geom"
 	"rficlayout/internal/layout"
 	"rficlayout/internal/netlist"
@@ -142,6 +144,10 @@ type Server struct {
 	coalesced   atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+	// panics counts solves that died by panic and were isolated to their job
+	// (engine.PanicError or the runJob-level recover). A nonzero panics with
+	// an alive server is the panic-isolation layer working as designed.
+	panics atomic.Int64
 
 	// Simplex-effort totals across every solve this server ran (cache hits
 	// excluded: they spent no pivots here); exposed on /healthz.
@@ -206,6 +212,12 @@ func (s *Server) admit(j *job) error {
 	if s.closed {
 		return fmt.Errorf("server shutting down")
 	}
+	// Injected admission failure: same retryable 503 surface as a full queue,
+	// so chaos schedules exercise the client retry path without real load.
+	if faultinject.Fired(faultinject.PointServerAdmit) {
+		s.rejected.Add(1)
+		return fmt.Errorf("admission queue full, retry later")
+	}
 	select {
 	case s.queue <- j:
 		s.jobs.add(j)
@@ -230,8 +242,20 @@ func (s *Server) worker() {
 }
 
 // runJob executes one admitted job on this worker and records its outcome.
+// It is the server's panic firewall: the engine already converts solver
+// panics into engine.PanicError job errors, and a second recover here covers
+// everything after the solve (formatting, caching, stats) — either way the
+// panic is charged to the panics counter and the job fails cleanly while the
+// worker, the queue and every other job keep going.
 func (s *Server) runJob(j *job) {
 	defer j.cancel()
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.cfg.logf("server: job %s panicked: %v", j.id, r)
+			s.finishJob(j, failedResponse(j, fmt.Errorf("job %s panicked: %v", j.id, r)))
+		}
+	}()
 	if !j.setRunning() {
 		return
 	}
@@ -240,11 +264,19 @@ func (s *Server) runJob(j *job) {
 		res.Err = fmt.Errorf("solver returned no layout")
 	}
 	if res.Err != nil {
+		var pe *engine.PanicError
+		if errors.As(res.Err, &pe) {
+			s.panics.Add(1)
+			s.cfg.logf("server: job %s isolated a solver panic: %v\n%s", j.id, pe.Value, pe.Stack)
+		}
 		s.finishJob(j, failedResponse(j, res.Err))
 		return
 	}
 	text := layout.Format(res.Result.Layout)
-	if s.cfg.Cache != nil {
+	// Partial results are anytime degradation, not the deterministic full
+	// solve — caching one would serve degraded layouts to future full-quality
+	// requests under the same key.
+	if s.cfg.Cache != nil && !res.Partial {
 		s.cfg.Cache.Put(j.key, cache.Entry{
 			Circuit: j.circuit.Name,
 			Layout:  []byte(text),
@@ -261,10 +293,16 @@ func (s *Server) runJob(j *job) {
 	stats.ShardCount = len(res.Shards)
 	stats.Shards = shardStatsJSON(res.Shards)
 	stats.LP = lpStats(res.LP)
+	if res.Partial {
+		stats.PartialPhase = res.Result.PartialPhase
+		stats.MaxGap = res.Result.MaxGap
+		stats.InterruptedSolves = res.Result.InterruptedSolves
+	}
 	resp := &solveResponse{
 		ID:      j.id,
 		Circuit: j.circuit.Name,
 		Status:  string(statusDone),
+		Partial: res.Partial,
 		Layout:  text,
 		Stats:   stats,
 	}
@@ -374,13 +412,17 @@ func (s *Server) releaseWaiter(j *job) {
 
 // solveResponse is the JSON document returned by /v1/solve and /v1/jobs.
 type solveResponse struct {
-	ID       string      `json:"id"`
-	Circuit  string      `json:"circuit,omitempty"`
-	Status   string      `json:"status"`
-	CacheHit bool        `json:"cache_hit,omitempty"`
-	Layout   string      `json:"layout,omitempty"`
-	Stats    *solveStats `json:"stats,omitempty"`
-	Error    string      `json:"error,omitempty"`
+	ID       string `json:"id"`
+	Circuit  string `json:"circuit,omitempty"`
+	Status   string `json:"status"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	// Partial marks an anytime result: the deadline fired mid-flow and (with
+	// accept_partial=1) Layout holds the best layout reached, not the fully
+	// refined one. Stats carries the phase reached and bound-gap figures.
+	Partial bool        `json:"partial,omitempty"`
+	Layout  string      `json:"layout,omitempty"`
+	Stats   *solveStats `json:"stats,omitempty"`
+	Error   string      `json:"error,omitempty"`
 
 	// code, when non-zero, is the HTTP status this response must be served
 	// with — admission rejections carry 503 so singleflight followers see
@@ -406,6 +448,13 @@ type solveStats struct {
 	// LP reports the simplex-level effort of the solve; absent for cache
 	// entries written before the counters existed.
 	LP *lpStatsJSON `json:"lp,omitempty"`
+	// PartialPhase, MaxGap and InterruptedSolves qualify a partial result:
+	// the last flow phase the layout completed, the worst relative
+	// incumbent/bound gap across its MILP solves, and how many of those
+	// solves the deadline interrupted. Present only when partial is set.
+	PartialPhase      string  `json:"partial_phase,omitempty"`
+	MaxGap            float64 `json:"max_gap,omitempty"`
+	InterruptedSolves int     `json:"interrupted_solves,omitempty"`
 }
 
 // lpStatsJSON is the wire form of pilp.LPStats.
@@ -521,6 +570,19 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	opts := s.cfg.SolveOptions
+	// accept_partial opts this request into anytime degradation: a deadline
+	// mid-flow returns the best layout reached (marked partial) instead of
+	// 504. The flag is excluded from the option fingerprint, so it shares the
+	// cache key — and the singleflight key — with full-quality requests; a
+	// partial result is never written to the cache.
+	switch arg := r.URL.Query().Get("accept_partial"); arg {
+	case "", "0", "false":
+	case "1", "true":
+		opts.AcceptPartial = true
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid accept_partial flag %q", arg))
+		return
+	}
 	key := cache.Key(circuit, opts)
 	if s.cfg.Cache != nil {
 		if entry, ok := s.cfg.Cache.Get(key); ok {
@@ -738,6 +800,14 @@ type healthResponse struct {
 	LPWarmHits   int64        `json:"lp_warm_hits"`
 	LPColdSolves int64        `json:"lp_cold_solves"`
 	Cache        *cache.Stats `json:"cache,omitempty"`
+	// Panics counts solver panics isolated to their job: each one failed a
+	// single request while the process kept serving. The cache tier's own
+	// quarantine counter rides in Cache.Corrupt.
+	Panics int64 `json:"panics"`
+	// Faults snapshots the active fault-injection registry's per-point
+	// hit/fired counters (absent when injection is disabled), so a chaos
+	// harness can reconcile every injected fault against the counters above.
+	Faults map[string]faultinject.PointCount `json:"faults,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -761,6 +831,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		LPPivots:      s.lpPivots.Load(),
 		LPWarmHits:    s.lpWarmHits.Load(),
 		LPColdSolves:  s.lpColdSolves.Load(),
+		Panics:        s.panics.Load(),
+		Faults:        faultinject.Active().Counts(),
 	}
 	if sr, ok := s.cfg.Cache.(cache.StatsReader); ok {
 		st := sr.Stats()
