@@ -15,13 +15,27 @@
 //
 // With -lp-compare the harness runs the pivot-level benchmark
 // (internal/lp/benchharness): the circuit named by -lp-circuit (a Table 1
-// name, "large"/"largeN", or a .rfic path) is solved under every pivot rule
-// × warm/cold LP mode × worker count, the per-run simplex counters are
-// printed as a table (and recorded via -stats-out), and the run exits
-// non-zero when any cell's layout deviates from the rest, when a warm run
-// spends more pivots than its cold baseline, or when the default rule's
-// warm-start pivot reduction falls below -lp-min-speedup. CI runs this as
-// the pivot-regression guard.
+// name, "large"/"largeN", or a .rfic path) is solved under every simplex
+// core (-lp-cores) × pivot rule (-lp-rules) × warm/cold LP mode × worker
+// count, the per-run simplex counters are printed as a table (and recorded
+// via -stats-out), and the run exits non-zero when any cell's layout
+// deviates from the rest, when a warm run spends more pivots than its cold
+// baseline, or when the default rule's warm-start pivot reduction falls
+// below -lp-min-speedup. With -lp-golden every cell's layout is additionally
+// compared byte-for-byte against a committed golden file — CI points it at
+// the dense-era goldens so the sparse rewrite is provably layout-preserving.
+// With -lp-cores sparse,dense and -lp-core-floor the run also fails when the
+// sparse core's wall-clock time per pivot is not at least floor× cheaper
+// than the dense tableau's. CI runs these as the pivot-regression and
+// sparse-core guards.
+//
+// With -cachebench the harness replays a seeded request mix — repeated
+// solves of a small circuit pool, near-duplicate perturbations of pool
+// circuits, and occasional novel circuits — through the same tiered cache
+// (memory LRU in front of a directory tier) the server uses, then reports
+// the hit rate and the wall-clock saved by serving hits from cache. One
+// JSONL summary line goes to -stats-out, so CI's perf-trend folds track
+// cache effectiveness run over run.
 //
 // With -fuzz the harness generates -count seeded random circuits starting at
 // -seed-base (internal/circuits/fuzz: LNA/mixer/PA topologies across aspect,
@@ -62,6 +76,10 @@
 //	rficbench -figure11b
 //	rficbench -shardguard -shard-size 6 -shard-tol 0.1
 //	rficbench -lp-compare -lp-circuit large -lp-phase1 -lp-min-speedup 1.5
+//	rficbench -lp-compare -lp-circuit large -lp-phase1 -lp-cores sparse,dense -lp-core-floor 1.3
+//	rficbench -lp-compare -lp-circuit mini.rfic -lp-golden testdata/golden/mini.lpcompare.layout
+//	rficbench -cachebench -cache-requests 48 -stats-out cache-stats.jsonl
+//	rficbench -table1 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	rficbench -fuzz -seed-base 1 -count 54 -budget 25 -fuzz-out fuzz.jsonl
 //	rficbench -chaos -fault-seed 42 -chaos-out chaos.jsonl -fault-schedule-out schedule.jsonl
 package main
@@ -71,16 +89,22 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"rficlayout/internal/cache"
 	"rficlayout/internal/circuits"
+	"rficlayout/internal/circuits/fuzz"
 	"rficlayout/internal/emsim"
 	"rficlayout/internal/engine"
 	"rficlayout/internal/faultinject"
+	"rficlayout/internal/geom"
 	"rficlayout/internal/layout"
 	"rficlayout/internal/lp"
 	"rficlayout/internal/lp/benchharness"
@@ -108,6 +132,15 @@ func main() {
 	lpPhase1 := flag.Bool("lp-phase1", false, "restrict -lp-compare to the phase-1 adjustment (faster on big circuits)")
 	lpMinSpeedup := flag.Float64("lp-min-speedup", 1.0, "minimum warm-start pivot reduction (cold/warm) for the default rule in -lp-compare")
 	lpStripNodes := flag.Int("lp-strip-nodes", 25, "deterministic node budget per per-strip solve in -lp-compare (0 = unlimited); caps searches that would otherwise run into their wall-clock limit at a path-independent point")
+	lpCores := flag.String("lp-cores", "sparse", "comma-separated simplex cores for -lp-compare (sparse, dense); include both for the dense-vs-sparse wall-clock comparison")
+	lpRules := flag.String("lp-rules", "", "comma-separated pivot rules for -lp-compare (empty = all rules)")
+	lpGolden := flag.String("lp-golden", "", "golden layout file for -lp-compare; every cell must match it byte-for-byte")
+	lpCoreFloor := flag.Float64("lp-core-floor", 0, "minimum sparse-core pivot-time reduction vs dense in -lp-compare (0 = off; requires both cores in -lp-cores)")
+	cacheBench := flag.Bool("cachebench", false, "run the cache hit-rate benchmark: a seeded repeated+perturbed request mix through the tiered result cache")
+	cacheRequests := flag.Int("cache-requests", 48, "request count of the -cachebench mix")
+	cacheSeed := flag.Int64("cache-seed", 1, "seed of the -cachebench circuit pool and request mix")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after a final GC) to this file on exit")
 	fuzzMode := flag.Bool("fuzz", false, "run the seeded circuit fuzzer: generate circuits and run the metamorphic audit battery on each")
 	seedBase := flag.Int64("seed-base", 1, "first seed of the -fuzz sweep; seeds run contiguously from here")
 	fuzzCount := flag.Int("count", 54, "number of seeds in the -fuzz sweep (54 covers the whole topology matrix once)")
@@ -140,12 +173,26 @@ func main() {
 
 	opts := pilp.Options{StripTimeLimit: *stripTime, MaxRefineIterations: 2, ShardSize: *shardSize}
 
-	stats, err := newStatsWriter(*statsOut)
+	prof, err := startProfiler(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rficbench:", err)
 		os.Exit(1)
 	}
+
+	stats, err := newStatsWriter(*statsOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rficbench:", err)
+		prof.Stop()
+		os.Exit(1)
+	}
 	defer stats.Close()
+	// os.Exit skips defers, so every early exit below flushes the profiler
+	// (and the stats file) explicitly.
+	fail := func() {
+		stats.Close()
+		prof.Stop()
+		os.Exit(1)
+	}
 
 	if *table1 {
 		runTable1(ctx, opts, *parallel, stats)
@@ -161,31 +208,88 @@ func main() {
 	}
 	if *shardGuard {
 		if !runShardGuard(ctx, opts, *shardSize, *shardTol, *guardScale, stats) {
-			stats.Close()
-			os.Exit(1)
+			fail()
 		}
 	}
 	if *lpCompare {
-		if !runLPCompare(ctx, opts, *lpCircuit, *lpPhase1, *lpMinSpeedup, *lpStripNodes, stats) {
-			stats.Close()
-			os.Exit(1)
+		cfg := lpCompareConfig{
+			circuit: *lpCircuit, phase1Only: *lpPhase1,
+			minSpeedup: *lpMinSpeedup, coreFloor: *lpCoreFloor,
+			stripNodes: *lpStripNodes,
+			cores:      *lpCores, rules: *lpRules, golden: *lpGolden,
+		}
+		if !runLPCompare(ctx, opts, cfg, stats) {
+			fail()
+		}
+	}
+	if *cacheBench {
+		if !runCacheBench(ctx, opts, *cacheSeed, *cacheRequests, *lpStripNodes, stats) {
+			fail()
 		}
 	}
 	if *fuzzMode {
 		if !runFuzz(ctx, *seedBase, *fuzzCount, *fuzzBudget, *fuzzChecks, *fuzzOut, *fuzzFixtures) {
-			stats.Close()
-			os.Exit(1)
+			fail()
 		}
 	}
 	if *chaosMode {
 		if !runChaos(ctx, *faults, *faultSeed, *chaosRounds, *chaosOut, *scheduleOut) {
-			stats.Close()
-			os.Exit(1)
+			fail()
 		}
 	}
-	if !*table1 && !*figure7 && !*figure11a && !*figure11b && !*shardGuard && !*lpCompare && !*fuzzMode && !*chaosMode {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -figure7, -figure11a, -figure11b, -shardguard, -lp-compare, -fuzz or -chaos")
+	if !*table1 && !*figure7 && !*figure11a && !*figure11b && !*shardGuard && !*lpCompare && !*cacheBench && !*fuzzMode && !*chaosMode {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -figure7, -figure11a, -figure11b, -shardguard, -lp-compare, -cachebench, -fuzz or -chaos")
+		prof.Stop()
 		os.Exit(2)
+	}
+	prof.Stop()
+}
+
+// profiler owns the optional runtime/pprof outputs: a CPU profile covering
+// the whole run and a heap profile written at exit. Stop is idempotent and
+// must run on every exit path — os.Exit skips defers.
+type profiler struct {
+	cpu     *os.File
+	memPath string
+	stopped bool
+}
+
+func startProfiler(cpuPath, memPath string) (*profiler, error) {
+	p := &profiler{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		p.cpu = f
+	}
+	return p, nil
+}
+
+func (p *profiler) Stop() {
+	if p == nil || p.stopped {
+		return
+	}
+	p.stopped = true
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		_ = p.cpu.Close()
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rficbench: -memprofile:", err)
+			return
+		}
+		runtime.GC() // materialize the final live set before snapshotting
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rficbench: -memprofile:", err)
+		}
+		_ = f.Close()
 	}
 }
 
@@ -203,15 +307,77 @@ func loadLPCircuit(name string) (*netlist.Circuit, error) {
 	return circuits.Build(spec), nil
 }
 
-// runLPCompare runs the pivot-level comparison matrix and applies the three
-// guards: byte-identical layouts across every cell, no warm cell spending
-// more pivots than its cold baseline, and the default rule's warm-start
-// reduction meeting the -lp-min-speedup floor.
-func runLPCompare(ctx context.Context, opts pilp.Options, circuitName string, phase1Only bool, minSpeedup float64, stripNodes int, stats *statsWriter) bool {
-	c, err := loadLPCircuit(circuitName)
+// lpCompareConfig carries the -lp-* flag values into runLPCompare.
+type lpCompareConfig struct {
+	circuit    string
+	phase1Only bool
+	minSpeedup float64 // warm-start pivot-reduction floor for the default rule
+	coreFloor  float64 // sparse-vs-dense pivot-time reduction floor (0 = off)
+	stripNodes int
+	cores      string // comma-separated lp.Core names
+	rules      string // comma-separated lp.PivotRule names (empty = all)
+	golden     string // golden layout path (empty = matrix-internal check only)
+}
+
+// parseLPCores resolves the -lp-cores list.
+func parseLPCores(spec string) ([]lp.Core, error) {
+	var out []lp.Core
+	for _, name := range strings.Split(spec, ",") {
+		core, err := lp.ParseCore(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, core)
+	}
+	return out, nil
+}
+
+// parseLPRules resolves the -lp-rules list; empty means all rules.
+func parseLPRules(spec string) ([]lp.PivotRule, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []lp.PivotRule
+	for _, name := range strings.Split(spec, ",") {
+		rule, err := lp.ParsePivotRule(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rule)
+	}
+	return out, nil
+}
+
+// runLPCompare runs the pivot-level comparison matrix and applies the
+// guards: byte-identical layouts across every cell (and, with -lp-golden,
+// against the committed golden), no warm cell spending more pivots than its
+// cold baseline, the default rule's warm-start reduction meeting the
+// -lp-min-speedup floor, and (with -lp-core-floor) the sparse core beating
+// the dense tableau on time per pivot by at least the floor.
+func runLPCompare(ctx context.Context, opts pilp.Options, cfg lpCompareConfig, stats *statsWriter) bool {
+	c, err := loadLPCircuit(cfg.circuit)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rficbench: -lp-circuit:", err)
 		return false
+	}
+	cores, err := parseLPCores(cfg.cores)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rficbench: -lp-cores:", err)
+		return false
+	}
+	rules, err := parseLPRules(cfg.rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rficbench: -lp-rules:", err)
+		return false
+	}
+	var golden string
+	if cfg.golden != "" {
+		b, err := os.ReadFile(cfg.golden)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rficbench: -lp-golden:", err)
+			return false
+		}
+		golden = string(b)
 	}
 	// The comparison needs a converging, deterministic branch-and-bound
 	// workload, not a production-quality layout: restrict the chain-point
@@ -224,12 +390,14 @@ func runLPCompare(ctx context.Context, opts pilp.Options, circuitName string, ph
 	opts.ChainPoints = 2
 	opts.MaxChainPoints = 3
 	opts.MaxRefineIterations = -1
-	opts.StripNodeLimit = stripNodes
+	opts.StripNodeLimit = cfg.stripNodes
 	fmt.Printf("lp-compare: %s\n", c.Stats())
 	rep, err := benchharness.Compare(ctx, benchharness.Config{
 		Circuit:    c,
 		Options:    opts,
-		Phase1Only: phase1Only,
+		Rules:      rules,
+		Cores:      cores,
+		Phase1Only: cfg.phase1Only,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rficbench:", err)
@@ -237,11 +405,12 @@ func runLPCompare(ctx context.Context, opts pilp.Options, circuitName string, ph
 	}
 	fmt.Print(rep.Table())
 	for _, run := range rep.Runs {
-		variant := fmt.Sprintf("lp-%s-%s-w%d", run.Rule, map[bool]string{true: "cold", false: "warm"}[run.Cold], run.Workers)
+		variant := fmt.Sprintf("lp-%s-%s-%s-w%d", run.Core, run.Rule, map[bool]string{true: "cold", false: "warm"}[run.Cold], run.Workers)
 		stats.record(solveRecord{
 			Circuit: c.Name, Variant: variant,
 			RuntimeNS: int64(run.Runtime), Nodes: run.Nodes,
 			LPPivots: run.LP.Pivots, LPRefactorizations: run.LP.Refactorizations,
+			LPPeakEta:  run.LP.PeakEta,
 			LPWarmHits: run.LP.WarmHits, LPWarmMisses: run.LP.WarmMisses,
 			LPColdSolves: run.LP.ColdSolves,
 		})
@@ -253,20 +422,159 @@ func runLPCompare(ctx context.Context, opts pilp.Options, circuitName string, ph
 		}
 		ok = false
 	}
+	if golden != "" {
+		matched := true
+		for _, run := range rep.Runs {
+			if run.Layout != golden {
+				fmt.Fprintf(os.Stderr, "rficbench: %s/%s/%s/w%d deviates from golden %s\n",
+					run.Core, run.Rule, map[bool]string{true: "cold", false: "warm"}[run.Cold], run.Workers, cfg.golden)
+				matched = false
+			}
+		}
+		if matched {
+			fmt.Printf("lp-compare: all %d cells match golden %s\n", len(rep.Runs), cfg.golden)
+		}
+		ok = ok && matched
+	}
 	if regs := rep.Regressions(); len(regs) > 0 {
 		for _, r := range regs {
 			fmt.Fprintln(os.Stderr, "rficbench: pivot regression:", r)
 		}
 		ok = false
 	}
-	if red := rep.PivotReduction(lp.PivotDantzig); red < minSpeedup {
-		fmt.Fprintf(os.Stderr, "rficbench: warm-start pivot reduction %.2fx below the %.2fx floor\n", red, minSpeedup)
+	if red := rep.PivotReduction(lp.PivotDantzig); red < cfg.minSpeedup {
+		fmt.Fprintf(os.Stderr, "rficbench: warm-start pivot reduction %.2fx below the %.2fx floor\n", red, cfg.minSpeedup)
 		ok = false
+	}
+	if cfg.coreFloor > 0 {
+		if red := rep.PivotTimeReduction(); red < cfg.coreFloor {
+			fmt.Fprintf(os.Stderr, "rficbench: sparse-core pivot-time reduction %.2fx below the %.2fx floor\n", red, cfg.coreFloor)
+			ok = false
+		}
 	}
 	if ok {
 		fmt.Println("lp-compare: OK")
 	}
 	return ok
+}
+
+// runCacheBench replays a deterministic request mix through the tiered
+// result cache and reports its hit rate. The mix models production traffic:
+// most requests repeat a circuit from a small hot pool (cache hits after the
+// first solve), some are near-duplicate perturbations of a pool circuit (a
+// microstrip's target length nudged, so the content address — and therefore
+// the cache line — changes), and a few are novel circuits. Solves use the
+// same deterministic node budgets as -lp-compare so the benchmark is about
+// cache behaviour, not solver wall-clock variance.
+func runCacheBench(ctx context.Context, opts pilp.Options, seed int64, requests, stripNodes int, stats *statsWriter) bool {
+	opts.ChainPoints = 2
+	opts.MaxChainPoints = 3
+	opts.MaxRefineIterations = -1
+	opts.StripNodeLimit = stripNodes
+
+	dir, err := os.MkdirTemp("", "rficbench-cache-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rficbench: -cachebench:", err)
+		return false
+	}
+	defer os.RemoveAll(dir)
+	disk, err := cache.NewDir(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rficbench: -cachebench:", err)
+		return false
+	}
+	// The LRU tier is sized below the pool so the benchmark exercises both
+	// tiers: evicted pool circuits come back as disk hits and re-promote.
+	const poolSize = 6
+	tier := cache.NewTiered(cache.NewLRU(poolSize-2, cache.DefaultMaxBytes), disk)
+
+	type request struct {
+		c    *netlist.Circuit
+		kind string
+	}
+	// The whole request sequence is derived up front from the seed, so the
+	// mix is reproducible run over run.
+	rng := rand.New(rand.NewSource(seed))
+	pool := make([]*netlist.Circuit, poolSize)
+	for i := range pool {
+		pool[i], _ = fuzz.Generate(seed + int64(i))
+	}
+	novel := 0
+	mix := make([]request, requests)
+	for i := range mix {
+		switch roll := rng.Float64(); {
+		case roll < 0.60: // repeat: straight re-request of a pool circuit
+			mix[i] = request{pool[rng.Intn(poolSize)], "repeat"}
+		case roll < 0.85: // perturbed: pool circuit with one strip length nudged
+			k := rng.Intn(poolSize)
+			c, _ := fuzz.Generate(seed + int64(k))
+			ms := c.Microstrips[rng.Intn(len(c.Microstrips))]
+			ms.TargetLength += geom.Micron * geom.Coord(1+rng.Intn(4))
+			mix[i] = request{c, "perturbed"}
+		default: // novel: a circuit outside the pool entirely
+			novel++
+			c, _ := fuzz.Generate(seed + 1000 + int64(novel))
+			mix[i] = request{c, "novel"}
+		}
+	}
+
+	fmt.Printf("cachebench: %d requests over a pool of %d circuits (seed %d)\n", requests, poolSize, seed)
+	var solved, saved time.Duration
+	start := time.Now()
+	kinds := map[string]int{}
+	for i, req := range mix {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "rficbench: -cachebench: cancelled")
+			return false
+		}
+		kinds[req.kind]++
+		key := cache.Key(req.c, opts)
+		if e, ok := tier.Get(key); ok {
+			saved += e.Runtime
+			continue
+		}
+		res, err := pilp.GenerateCtx(ctx, req.c, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rficbench: -cachebench: request %d (%s): %v\n", i, req.kind, err)
+			return false
+		}
+		solved += res.Runtime
+		tier.Put(key, cache.Entry{
+			Circuit: req.c.Name,
+			Layout:  []byte(layout.Format(res.Layout)),
+			Runtime: res.Runtime,
+			Nodes:   res.Nodes,
+			Shards:  len(res.Shards),
+			LP:      res.LP,
+		})
+	}
+	elapsed := time.Since(start)
+
+	st := tier.Stats()
+	hitRate := 0.0
+	if st.Hits+st.Misses > 0 {
+		hitRate = float64(st.Hits) / float64(st.Hits+st.Misses)
+	}
+	fmt.Printf("cachebench: mix repeat=%d perturbed=%d novel=%d\n", kinds["repeat"], kinds["perturbed"], kinds["novel"])
+	fmt.Printf("cachebench: hits %d, misses %d (hit rate %.1f%%), evictions %d\n",
+		st.Hits, st.Misses, 100*hitRate, st.Evictions)
+	fmt.Printf("cachebench: solving spent %v, cache saved %v (run total %v)\n",
+		solved.Round(time.Millisecond), saved.Round(time.Millisecond), elapsed.Round(time.Millisecond))
+	stats.record(solveRecord{
+		Circuit: "cachebench", Variant: fmt.Sprintf("cachebench-s%d-r%d", seed, requests),
+		RuntimeNS: int64(elapsed), Nodes: 0,
+		CacheHits: st.Hits, CacheMisses: st.Misses, CacheHitRate: hitRate,
+		CacheSavedNS: int64(saved),
+	})
+	// The guard is intentionally loose — the mix is seeded, so the floor is a
+	// sanity check that the cache is wired in at all, not a tuned threshold:
+	// every straight repeat after its first solve must hit.
+	if st.Hits == 0 && requests > poolSize {
+		fmt.Fprintln(os.Stderr, "rficbench: -cachebench: zero cache hits on a repeating mix")
+		return false
+	}
+	fmt.Println("cachebench: OK")
+	return true
 }
 
 // statsWriter appends one JSON document per line to a file (JSONL), the
@@ -290,9 +598,16 @@ type solveRecord struct {
 	Score              float64 `json:"score"`
 	LPPivots           int     `json:"lp_pivots,omitempty"`
 	LPRefactorizations int     `json:"lp_refactorizations,omitempty"`
+	LPPeakEta          int     `json:"lp_peak_eta,omitempty"`
 	LPWarmHits         int     `json:"lp_warm_hits,omitempty"`
 	LPWarmMisses       int     `json:"lp_warm_misses,omitempty"`
 	LPColdSolves       int     `json:"lp_cold_solves,omitempty"`
+	// The cache_* fields carry the -cachebench summary; zero (and omitted)
+	// everywhere else.
+	CacheHits    int64   `json:"cache_hits,omitempty"`
+	CacheMisses  int64   `json:"cache_misses,omitempty"`
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+	CacheSavedNS int64   `json:"cache_saved_ns,omitempty"`
 }
 
 func newStatsWriter(path string) (*statsWriter, error) {

@@ -19,6 +19,7 @@
 //
 //	rficserve -addr :8080
 //	rficserve -addr :8080 -workers 4 -queue 128 -cache-dir /var/cache/rfic
+//	rficserve -addr :8080 -pprof-addr 127.0.0.1:6060
 //	RFIC_FAULTS='cache.dir.read=0.1/4' RFIC_FAULT_SEED=42 rficserve -addr :8080
 //
 // Quick start:
@@ -36,6 +37,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -84,8 +86,27 @@ func main() {
 	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout: bound on slow-header clients")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout: bound on reading a whole request (netlists are small; slower means a stuck client)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout: reap idle keep-alive connections")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof diagnostics (empty = disabled); bind it to loopback — the profile endpoints are unauthenticated")
 	verbose := flag.Bool("v", false, "log solver progress")
 	flag.Parse()
+
+	// The pprof endpoints live on their own listener and mux, never on the
+	// serving address: profiling stays reachable when the admission queue is
+	// saturated, and the public API surface does not grow debug handlers.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("rficserve: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("rficserve: pprof server: %v", err)
+			}
+		}()
+	}
 
 	if err := armFaultsFromEnv(); err != nil {
 		fmt.Fprintln(os.Stderr, "rficserve:", err)

@@ -38,14 +38,25 @@
 //	                             warm-start the dual simplex from the parent
 //	                             basis and fall back to a cold solve when the
 //	                             basis is incompatible
-//	internal/lp                  bounded-variable primal + dual simplex with
-//	                             exportable bases, pluggable pivot rules
-//	                             (Dantzig, Bland, Devex) and lexicographic
-//	                             canonicalization of optimal vertices
+//	internal/lp                  bounded-variable primal + dual simplex. One
+//	                             shared driver (pricing, ratio tests, phases,
+//	                             lexicographic canonicalization) runs over a
+//	                             pluggable basis-inverse core: the default
+//	                             sparse revised core stores A in compressed
+//	                             sparse columns and maintains B⁻¹ as an LU-style
+//	                             eta file — refactorized every RefactorEvery
+//	                             pivots or on drift, product-form update etas
+//	                             in between, FTRAN/BTRAN solves for columns,
+//	                             rows and pricing — while the dense tableau
+//	                             core remains as the baseline. Pivot rules:
+//	                             Dantzig, Bland, Devex, projected steepest
+//	                             edge; bases are exportable for warm starts
+//	                             and every core × rule × warm/cold combination
+//	                             returns the byte-identical canonical vertex
 //	internal/lp/benchharness     pivot-level benchmark matrix behind
-//	                             rficbench -lp-compare: pivot rule × warm/cold
-//	                             × workers, byte-equality and pivot-regression
-//	                             checks
+//	                             rficbench -lp-compare: core × pivot rule ×
+//	                             warm/cold × workers, byte-equality,
+//	                             pivot-regression and pivot-time checks
 //	internal/faultinject         seeded deterministic fault-injection registry
 //	                             (named points, per-point probability/budget);
 //	                             a fixed seed replays the identical fault

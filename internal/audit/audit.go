@@ -36,6 +36,18 @@ const (
 	// property of the flow (a known chirality sensitivity, not a
 	// determinism bug) — the check guards against outright collapse.
 	CheckMirror = "mirror"
+	// CheckRotate: swapping the area's and every device's width and height
+	// and mapping every pin offset (x, y) → (−y, x) states the problem
+	// rotated a quarter turn, whose optimal score equals the base problem's
+	// by congruence. Two assertions, shaped exactly like the mirror check:
+	// rotating four times restores the byte-identical canonical netlist, and
+	// the rotated solve's score stays inside the rotate-ratio envelope of the
+	// base. The envelope is as wide as the mirror's and for the same reason —
+	// the constructive phase orders and routes by coordinates, so rotation
+	// re-deals every heuristic tie-break (and additionally exchanges the
+	// horizontal and vertical routing regimes), which at fuzz-scale node
+	// budgets swings violation counts several-fold without indicating a bug.
+	CheckRotate = "rotate"
 	// CheckShardEnvelope: the sharded phase-1 adjustment must score within
 	// the stated envelope of the monolithic solve on the same circuit. The
 	// envelope is wide (50% plus one violation per boundary strip by
@@ -56,7 +68,7 @@ const (
 
 // AllChecks lists every check in battery order.
 var AllChecks = []string{
-	CheckReorder, CheckRename, CheckRescale, CheckMirror,
+	CheckReorder, CheckRename, CheckRescale, CheckMirror, CheckRotate,
 	CheckShardEnvelope, CheckWarmCold, CheckWorkers,
 }
 
@@ -93,6 +105,16 @@ type Options struct {
 	// means 2e6, two violations — a near-perfect base score must not turn
 	// every residual mirrored violation into a failure.
 	MirrorSlack float64
+	// RotateRatio is the allowed multiplicative score divergence between the
+	// quarter-turn-rotated and the base solve (in either direction). Zero
+	// means 8, calibrated the same way as MirrorRatio: the 54-seed fuzz
+	// battery at budget 10 stays inside it with the same margin the mirror
+	// check has, and rotation perturbs the heuristics at least as much
+	// (every tie-break re-dealt plus the routing regimes exchanged).
+	RotateRatio float64
+	// RotateSlack is the absolute score slack of the rotate envelope. Zero
+	// means 2e6, two violations, matching MirrorSlack.
+	RotateSlack float64
 	// ExtraWorkers are the worker counts compared against the base solve by
 	// the workers check. Nil means {4}.
 	ExtraWorkers []int
@@ -136,6 +158,20 @@ func (o Options) mirrorRatio() float64 {
 func (o Options) mirrorSlack() float64 {
 	if o.MirrorSlack > 0 {
 		return o.MirrorSlack
+	}
+	return 2e6
+}
+
+func (o Options) rotateRatio() float64 {
+	if o.RotateRatio > 0 {
+		return o.RotateRatio
+	}
+	return 8
+}
+
+func (o Options) rotateSlack() float64 {
+	if o.RotateSlack > 0 {
+		return o.RotateSlack
 	}
 	return 2e6
 }
@@ -258,6 +294,8 @@ func Run(ctx context.Context, c *netlist.Circuit, opts Options) (*Report, error)
 			cr = checkRescale(ctx, c, base, opts, rep)
 		case CheckMirror:
 			cr = checkMirror(ctx, c, base, opts, rep)
+		case CheckRotate:
+			cr = checkRotate(ctx, c, base, opts, rep)
 		case CheckShardEnvelope:
 			cr = checkShardEnvelope(ctx, c, opts, rep)
 		case CheckWarmCold:
@@ -444,6 +482,31 @@ func checkMirror(ctx context.Context, c *netlist.Circuit, base *pilp.Result, opt
 			ms, bs, opts.mirrorRatio())
 	}
 	return pass(CheckMirror)
+}
+
+// checkRotate: see CheckRotate. The four-times-identity half is exact; the
+// score half reuses the mirror check's collapse-envelope shape, because a
+// quarter turn, like a reflection, states a congruent problem that the
+// coordinate-ordered heuristics nevertheless attack in a different order.
+func checkRotate(ctx context.Context, c *netlist.Circuit, base *pilp.Result, opts Options, rep *Report) CheckResult {
+	rc := rotated90(c)
+	if netlist.Canonical(rotated90(rotated90(rotated90(rc)))) != netlist.Canonical(c) {
+		return failf(CheckRotate, "rotating four times did not restore the canonical netlist")
+	}
+	res, err := resolve(ctx, rc, opts.Solve, rep)
+	if err != nil {
+		return failf(CheckRotate, "solving rotated circuit: %v", err)
+	}
+	bs, rs := pilp.Score(base.Layout), pilp.Score(res.Layout)
+	lo, hi := bs, rs
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi > lo*opts.rotateRatio()+opts.rotateSlack() {
+		return failf(CheckRotate, "rotated score %.1f vs base %.1f exceeds the %gx collapse envelope",
+			rs, bs, opts.rotateRatio())
+	}
+	return pass(CheckRotate)
 }
 
 // checkShardEnvelope: phase 1 sharded must stay within the stated score

@@ -36,6 +36,27 @@ func TestTransformsPreserveValidity(t *testing.T) {
 		if err := mirroredX(c).Validate(); err != nil {
 			t.Errorf("seed %d: mirrored circuit invalid: %v", seed, err)
 		}
+		if err := rotated90(c).Validate(); err != nil {
+			t.Errorf("seed %d: rotated circuit invalid: %v", seed, err)
+		}
+	}
+}
+
+// TestRotateFourTimesIsIdentity: the quarter-turn transform composed with
+// itself four times must restore the byte-identical canonical netlist — the
+// exactness half of the rotate check, asserted directly over many seeds.
+func TestRotateFourTimesIsIdentity(t *testing.T) {
+	for seed := int64(0); seed < fuzz.ProfilePeriod; seed += 5 {
+		c, _ := fuzz.Generate(seed)
+		r4 := rotated90(rotated90(rotated90(rotated90(c))))
+		if netlist.Canonical(r4) != netlist.Canonical(c) {
+			t.Errorf("seed %d: four rotations changed the canonical netlist", seed)
+		}
+		// A single rotation of a non-square circuit must NOT be the identity;
+		// a transform that does nothing would make the check vacuous.
+		if c.AreaWidth != c.AreaHeight && netlist.Canonical(rotated90(c)) == netlist.Canonical(c) {
+			t.Errorf("seed %d: one rotation left the canonical netlist unchanged", seed)
+		}
 	}
 }
 

@@ -161,3 +161,22 @@ func mirroredX(c *netlist.Circuit) *netlist.Circuit {
 	}
 	return out
 }
+
+// rotated90 returns a copy rotated a quarter turn counter-clockwise: the
+// layout area and every device body swap width and height, and every pin
+// offset maps (x, y) → (−y, x). The rotated circuit states the congruent
+// problem in the rotated frame — same distances, same adjacencies — so its
+// optimal score equals the base problem's by symmetry, and applying the
+// transform four times is the identity.
+func rotated90(c *netlist.Circuit) *netlist.Circuit {
+	out := copyCircuit(c)
+	out.AreaWidth, out.AreaHeight = c.AreaHeight, c.AreaWidth
+	for _, d := range out.Devices {
+		d.Width, d.Height = d.Height, d.Width
+		for i := range d.Pins {
+			x, y := d.Pins[i].Offset.X, d.Pins[i].Offset.Y
+			d.Pins[i].Offset.X, d.Pins[i].Offset.Y = -y, x
+		}
+	}
+	return out
+}

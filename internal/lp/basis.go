@@ -119,6 +119,9 @@ func (s *simplex) installBasis(b *Basis) bool {
 			s.status[j] = s.normalizeNonbasic(j, st)
 		}
 	}
+	// A warm start never has artificial columns, so the column set is final
+	// and the core can be stood up here.
+	s.initCore()
 	if !s.refactorize() {
 		return false
 	}
@@ -201,113 +204,4 @@ func (s *simplex) rawRow(i int, dst []float64) {
 			dst[s.artStart+k] = s.artSign[k]
 		}
 	}
-}
-
-// refactorize rebuilds the tableau T = B⁻¹·A and the basic values from the
-// raw problem data and the current basic set, discarding all floating-point
-// error accumulated by incremental pivoting. The elimination order — unit
-// columns (slacks, artificials) pivot first at their home rows, then
-// structural columns in ascending index order with partial pivoting over the
-// unassigned rows — depends only on the basic set, so two solves that reach
-// the same basis through different pivot paths end with bit-identical state.
-// Returns false when the basis matrix is singular.
-func (s *simplex) refactorize() bool {
-	const pivTol = 1e-9
-	m, n := s.m, s.n
-	basicSet := make([]bool, n)
-	for _, j := range s.basis {
-		basicSet[j] = true
-	}
-	W := make([][]float64, m)
-	rhs := make([]float64, m)
-	for i := 0; i < m; i++ {
-		W[i] = make([]float64, n)
-		s.rawRow(i, W[i])
-		acc := 0.0
-		for j, a := range W[i] {
-			if a != 0 && !basicSet[j] {
-				acc += a * s.nonbasicValue(j)
-			}
-		}
-		rhs[i] = s.prob.Constraints[i].RHS - acc
-	}
-
-	cols := make([]int, 0, m)
-	for j := 0; j < n; j++ {
-		if basicSet[j] {
-			cols = append(cols, j)
-		}
-	}
-	assigned := make([]bool, m)
-	newBasis := make([]int, m)
-	// eliminate pivots column c in row home; callers have checked that the
-	// pivot element is well away from zero.
-	eliminate := func(c, home int) {
-		inv := 1 / W[home][c]
-		prow := W[home]
-		for j := 0; j < n; j++ {
-			prow[j] *= inv
-		}
-		prow[c] = 1
-		rhs[home] *= inv
-		for r := 0; r < m; r++ {
-			if r == home {
-				continue
-			}
-			f := W[r][c]
-			if f == 0 {
-				continue
-			}
-			row := W[r]
-			for j := 0; j < n; j++ {
-				row[j] -= f * prow[j]
-			}
-			row[c] = 0
-			rhs[r] -= f * rhs[home]
-		}
-		assigned[home] = true
-		newBasis[home] = c
-	}
-
-	// Unit columns: a slack or artificial is ±1 in its home row and zero
-	// elsewhere, so it can only pivot there (and the elimination loop finds
-	// nothing to do for a still-raw column).
-	for _, c := range cols {
-		if c < s.nStruct {
-			continue
-		}
-		home := c - s.nStruct
-		if c >= s.artStart {
-			home = s.artRow[c-s.artStart]
-		}
-		if assigned[home] || math.Abs(W[home][c]) < pivTol {
-			return false
-		}
-		eliminate(c, home)
-	}
-	// Structural columns take the remaining rows by partial pivoting.
-	for _, c := range cols {
-		if c >= s.nStruct {
-			continue
-		}
-		best, bestAbs := -1, pivTol
-		for r := 0; r < m; r++ {
-			if assigned[r] {
-				continue
-			}
-			if a := math.Abs(W[r][c]); a > bestAbs {
-				best, bestAbs = r, a
-			}
-		}
-		if best < 0 {
-			return false
-		}
-		eliminate(c, best)
-	}
-
-	s.tableau = W
-	s.beta = rhs
-	s.basis = newBasis
-	s.refactorizations++
-	return true
 }

@@ -29,17 +29,20 @@ func (s *simplex) runDual() Status {
 		if r < 0 {
 			return StatusOptimal
 		}
-		enter, ratio, ok := s.dualRatioTest(r, target)
+		prow := s.prowBuf
+		s.core.pivotRow(r, prow)
+		enter, ratio, ok := s.dualRatioTest(r, target, prow)
 		if !ok {
 			return StatusInfeasible
 		}
 
-		alpha := s.tableau[r][enter]
-		delta := (s.beta[r] - target) / alpha
+		delta := (s.beta[r] - target) / prow[enter]
 		dir, step := 1.0, delta
 		if delta < 0 {
 			dir, step = -1, -delta
 		}
+		alpha := s.colBuf
+		s.core.column(enter, alpha)
 
 		s.iterations++
 		sinceRefresh++
@@ -54,7 +57,7 @@ func (s *simplex) runDual() Status {
 			s.degenerate = 0
 			s.useBland = false
 		}
-		s.pivot(enter, dir, r, bound, step)
+		s.pivot(enter, dir, r, bound, step, alpha)
 	}
 }
 
@@ -85,14 +88,14 @@ func (s *simplex) chooseLeaving() (row int, target float64, bound varStatus) {
 	return
 }
 
-// dualRatioTest picks the entering column for leaving row r whose basic
-// variable moves to target: among the columns whose sign allows the move, the
-// one minimizing |d/alpha| keeps every reduced cost sign-feasible after the
-// pivot. Ties break on the larger |alpha| (stability) then the lower index;
-// anti-cycling mode breaks ties on the lower index alone.
-func (s *simplex) dualRatioTest(r int, target float64) (enter int, ratio float64, ok bool) {
+// dualRatioTest picks the entering column for leaving row r (whose tableau
+// row is in row) whose basic variable moves to target: among the columns
+// whose sign allows the move, the one minimizing |d/alpha| keeps every
+// reduced cost sign-feasible after the pivot. Ties break on the larger
+// |alpha| (stability) then the lower index; anti-cycling mode breaks ties on
+// the lower index alone.
+func (s *simplex) dualRatioTest(r int, target float64, row []float64) (enter int, ratio float64, ok bool) {
 	const pivTol = 1e-9
-	row := s.tableau[r]
 	below := s.beta[r] < target // the leaving basic variable must increase
 	enter = -1
 	bestRatio := math.Inf(1)
@@ -166,11 +169,13 @@ func (s *simplex) lexCanonicalize() {
 		if enter < 0 {
 			break
 		}
+		// findLexDescent leaves the accepted column's tableau column in
+		// s.colBuf, which is exactly what the move application needs.
 		s.iterations++
 		if leaveRow < 0 {
-			s.applyBoundFlip(enter, dir, step)
+			s.applyBoundFlip(enter, dir, step, s.colBuf)
 		} else {
-			s.pivot(enter, dir, leaveRow, bound, step)
+			s.pivot(enter, dir, leaveRow, bound, step, s.colBuf)
 		}
 	}
 	s.lexPivoting = false
@@ -198,11 +203,13 @@ func (s *simplex) findLexDescent() (enter int, dir float64, leaveRow int, bound 
 		case atFree:
 			dirs = []float64{1, -1}
 		}
+		alpha := s.colBuf
+		s.core.column(j, alpha)
 		for _, d := range dirs {
-			if !s.lexDescending(j, d) {
+			if !s.lexDescending(j, d, alpha) {
 				continue
 			}
-			lr, b, stp, ok := s.ratioTest(j, d)
+			lr, b, stp, ok := s.ratioTest(j, d, alpha)
 			if !ok {
 				continue // unbounded ray: the lex objective has no minimum here
 			}
@@ -215,14 +222,15 @@ func (s *simplex) findLexDescent() (enter int, dir float64, leaveRow int, bound 
 	return -1, 0, 0, atLower, 0
 }
 
-// lexDescending reports whether moving the entering column in direction dir
-// strictly decreases the structural solution in lexicographic order to first
-// order: the lowest-index structural variable with a nonzero rate of change
-// must decrease. The test reads per-unit rates rather than step-scaled deltas,
-// so it is independent of how far the move is later allowed to travel —
-// degenerate moves count, which is what lets the descent walk through the
-// bases of a degenerate vertex instead of stalling on it.
-func (s *simplex) lexDescending(enter int, dir float64) bool {
+// lexDescending reports whether moving the entering column (tableau column
+// alpha) in direction dir strictly decreases the structural solution in
+// lexicographic order to first order: the lowest-index structural variable
+// with a nonzero rate of change must decrease. The test reads per-unit rates
+// rather than step-scaled deltas, so it is independent of how far the move is
+// later allowed to travel — degenerate moves count, which is what lets the
+// descent walk through the bases of a degenerate vertex instead of stalling
+// on it.
+func (s *simplex) lexDescending(enter int, dir float64, alpha []float64) bool {
 	const rateTol = 1e-9
 	lead := s.nStruct
 	var leadRate float64
@@ -235,7 +243,7 @@ func (s *simplex) lexDescending(enter int, dir float64) bool {
 		if b >= lead {
 			continue
 		}
-		a := s.tableau[i][enter]
+		a := alpha[i]
 		if math.Abs(a) <= rateTol {
 			continue
 		}

@@ -17,10 +17,11 @@ const (
 )
 
 // simplex is the working state of one bounded-variable simplex solve (primal
-// cold start or dual warm start). It operates on a dense tableau T = B⁻¹·A
-// with an incrementally maintained reduced-cost row, which is simple,
-// predictable and fast enough for the model sizes produced by the progressive
-// layout flow.
+// cold start or dual warm start). The driver owns the problem data, bounds,
+// statuses, basic values and the incrementally maintained reduced-cost row;
+// the tableau quantities every decision needs — entering columns, pivot rows,
+// reduced costs from scratch — come from the pluggable basis-inverse core
+// (sparse revised simplex by default, dense tableau as the legacy baseline).
 type simplex struct {
 	m, n    int // constraint and total column counts (structural + slack + artificial)
 	nStruct int // structural variable count
@@ -31,12 +32,18 @@ type simplex struct {
 	cost         []float64 // phase-2 cost per column
 	phase1Cost   []float64 // phase-1 cost per column (1 for artificials)
 
-	tableau  [][]float64 // m rows × n columns, equals B⁻¹·A
+	coreKind Core
+	core     tableauCore
+
 	beta     []float64   // current values of basic variables, one per row
 	basis    []int       // basic column per row
 	status   []varStatus // status per column
 	reduced  []float64   // reduced cost per column for the active phase
 	inPhase1 bool
+
+	colBuf  []float64 // length m: entering tableau column for the current pivot
+	prowBuf []float64 // length n: pivot row for the current pivot
+	tauBuf  []float64 // length n: steepest-edge τ vector
 
 	// forcedInfeasible marks a subproblem whose bound overrides were
 	// contradictory (lower > upper); it is reported as infeasible without
@@ -54,6 +61,7 @@ type simplex struct {
 
 	rule   PivotRule // primal pricing rule
 	devexW []float64 // devex reference weights, lazily initialized
+	steepW []float64 // steepest-edge reference weights γ, lazily initialized
 
 	refactorizations int
 
@@ -148,6 +156,9 @@ func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Solution, error) 
 		Refactorizations: s.refactorizations,
 		WarmStarted:      warm,
 	}
+	if s.core != nil {
+		sol.PeakEta = s.core.peakEta()
+	}
 	if status == StatusOptimal && !s.forcedInfeasible {
 		sol.Basis = s.exportBasis()
 	}
@@ -171,12 +182,13 @@ func newSimplexBase(p *Problem, opts Options) (*simplex, error) {
 	m := len(p.Constraints)
 	nStruct := len(p.Variables)
 	s := &simplex{
-		m:       m,
-		nStruct: nStruct,
-		prob:    p,
-		tol:     opts.tolerance(),
-		refresh: opts.refactorEvery(),
-		rule:    opts.Pivot,
+		m:        m,
+		nStruct:  nStruct,
+		prob:     p,
+		tol:      opts.tolerance(),
+		refresh:  opts.refactorEvery(),
+		rule:     opts.Pivot,
+		coreKind: opts.Core,
 	}
 	s.maxIter = opts.maxIterations(m, nStruct)
 
@@ -222,15 +234,34 @@ func newSimplexBase(p *Problem, opts Options) (*simplex, error) {
 	}
 	s.n = total
 	s.artStart = total
-
-	// Dense tableau rows: structural coefficients plus the +1 slack.
-	s.tableau = make([][]float64, m)
-	for i := range s.tableau {
-		s.tableau[i] = make([]float64, total, total+m)
-		s.rawRow(i, s.tableau[i])
-	}
 	s.status = make([]varStatus, total, total+m)
 	return s, nil
+}
+
+// initCore instantiates the basis-inverse engine. It must run after the
+// column set is final — for a cold start that means after the artificial
+// columns are added — and before the first refactorize call.
+func (s *simplex) initCore() {
+	s.colBuf = make([]float64, s.m)
+	s.prowBuf = make([]float64, s.n)
+	s.tauBuf = make([]float64, s.n)
+	switch s.coreKind {
+	case CoreDense:
+		s.core = newDenseCore(s)
+	default:
+		s.core = newSparseCore(s)
+	}
+}
+
+// refactorize rebuilds the core's basis-inverse representation (and with it
+// s.basis row assignment and s.beta) from the raw problem data; see
+// tableauCore.refactorize. The effort counter only counts successful builds.
+func (s *simplex) refactorize() bool {
+	if !s.core.refactorize() {
+		return false
+	}
+	s.refactorizations++
+	return true
 }
 
 // newSimplex builds the cold-start solver: nonbasic structural variables park
@@ -260,14 +291,12 @@ func newSimplex(p *Problem, opts Options) (*simplex, error) {
 		rhs[i] = c.RHS - acc
 	}
 	s.basis = make([]int, m)
-	s.beta = make([]float64, m)
 	for i := 0; i < m; i++ {
 		j := nStruct + i
 		need := rhs[i]
 		if need >= s.lower[j]-s.tol && need <= s.upper[j]+s.tol {
 			// Slack basis is feasible for this row.
 			s.basis[i] = j
-			s.beta[i] = clamp(need, s.lower[j], s.upper[j])
 			s.status[j] = inBasis
 			continue
 		}
@@ -281,19 +310,8 @@ func newSimplex(p *Problem, opts Options) (*simplex, error) {
 			slackVal = s.upper[j]
 			s.status[j] = atUpper
 		}
-		residual := need - slackVal
-		art := s.addArtificial(i, sign(residual))
-		if residual < 0 {
-			// The artificial column was added with coefficient −1, so the
-			// initial basis matrix has −1 on this diagonal entry; negate the
-			// whole row to keep the tableau equal to B⁻¹·A.
-			row := s.tableau[i]
-			for j := range row {
-				row[j] = -row[j]
-			}
-		}
+		art := s.addArtificial(i, sign(need-slackVal))
 		s.basis[i] = art
-		s.beta[i] = math.Abs(residual)
 		s.status[art] = inBasis
 	}
 
@@ -302,6 +320,13 @@ func newSimplex(p *Problem, opts Options) (*simplex, error) {
 	for j := s.artStart; j < s.n; j++ {
 		s.phase1Cost[j] = 1
 	}
+
+	// The column set is final: stand up the core and factorize the initial
+	// basis, which also derives the basic values. The initial basis matrix is
+	// a signed permutation (one slack or artificial unit column per row), so
+	// this build cannot be singular.
+	s.initCore()
+	s.refactorize()
 	return s, nil
 }
 
@@ -316,13 +341,6 @@ func (s *simplex) addArtificial(i int, sgn float64) int {
 	s.status = append(s.status, atLower)
 	s.artRow = append(s.artRow, i)
 	s.artSign = append(s.artSign, sgn)
-	for r := range s.tableau {
-		v := 0.0
-		if r == i {
-			v = sgn
-		}
-		s.tableau[r] = append(s.tableau[r], v)
-	}
 	if s.artStart > j {
 		s.artStart = j
 	}

@@ -57,33 +57,15 @@ func (s *simplex) activeCost() []float64 {
 	return s.cost
 }
 
-// computeReducedCosts recomputes the reduced-cost row from scratch:
-// d_j = c_j − c_Bᵀ·T_j.
+// computeReducedCosts recomputes the reduced-cost row from scratch through
+// the core: d_j = c_j − c_Bᵀ·T_j (one BTRAN plus a matrix pass on the sparse
+// core, a dense accumulation on the dense one).
 func (s *simplex) computeReducedCosts() {
 	c := s.activeCost()
 	if s.reduced == nil || len(s.reduced) != s.n {
 		s.reduced = make([]float64, s.n)
 	}
-	// Multipliers per row: cost of the basic variable of that row.
-	cb := make([]float64, s.m)
-	anyNonzero := false
-	for i, j := range s.basis {
-		cb[i] = c[j]
-		if cb[i] != 0 {
-			anyNonzero = true
-		}
-	}
-	for j := 0; j < s.n; j++ {
-		d := c[j]
-		if anyNonzero {
-			for i := 0; i < s.m; i++ {
-				if cb[i] != 0 {
-					d -= cb[i] * s.tableau[i][j]
-				}
-			}
-		}
-		s.reduced[j] = d
-	}
+	s.core.reducedCosts(c, s.reduced)
 	for _, j := range s.basis {
 		s.reduced[j] = 0
 	}
@@ -110,7 +92,9 @@ func (s *simplex) iterate() Status {
 			return StatusOptimal
 		}
 
-		leaveRow, bound, step, ok := s.ratioTest(enter, dir)
+		alpha := s.colBuf
+		s.core.column(enter, alpha)
+		leaveRow, bound, step, ok := s.ratioTest(enter, dir, alpha)
 		if !ok {
 			if s.inPhase1 {
 				// The phase-1 objective is bounded below by zero, so an
@@ -122,7 +106,8 @@ func (s *simplex) iterate() Status {
 				if enter2 < 0 {
 					return StatusOptimal
 				}
-				leaveRow, bound, step, ok = s.ratioTest(enter2, dir2)
+				s.core.column(enter2, alpha)
+				leaveRow, bound, step, ok = s.ratioTest(enter2, dir2, alpha)
 				if !ok {
 					return StatusUnbounded
 				}
@@ -149,10 +134,10 @@ func (s *simplex) iterate() Status {
 		if leaveRow < 0 {
 			// Bound flip: the entering variable moves to its other bound
 			// without any basis change.
-			s.applyBoundFlip(enter, dir, step)
+			s.applyBoundFlip(enter, dir, step, alpha)
 			continue
 		}
-		s.pivot(enter, dir, leaveRow, bound, step)
+		s.pivot(enter, dir, leaveRow, bound, step, alpha)
 	}
 }
 
@@ -162,9 +147,14 @@ func (s *simplex) iterate() Status {
 // overrides it with Bland's rule.
 func (s *simplex) chooseEntering() (int, float64) {
 	useBland := s.useBland || s.rule == PivotBland
-	var devexW []float64
-	if !useBland && s.rule == PivotDevex {
-		devexW = s.devexWeights()
+	var weights []float64
+	if !useBland {
+		switch s.rule {
+		case PivotDevex:
+			weights = s.devexWeights()
+		case PivotSteepest:
+			weights = s.steepestWeights()
+		}
 	}
 	best := -1
 	bestScore := 0.0
@@ -202,8 +192,8 @@ func (s *simplex) chooseEntering() (int, float64) {
 			// Bland's rule: first eligible index.
 			return j, dir
 		}
-		if devexW != nil {
-			score = score * score / devexW[j]
+		if weights != nil {
+			score = score * score / weights[j]
 		}
 		if score > bestScore {
 			bestScore = score
@@ -214,11 +204,12 @@ func (s *simplex) chooseEntering() (int, float64) {
 	return best, bestDir
 }
 
-// ratioTest determines how far the entering variable can move. It returns the
-// blocking basic row (or −1 for a bound flip of the entering variable
-// itself), which bound the leaving variable hits (atLower or atUpper), the
-// step length, and ok=false when the problem is unbounded in that direction.
-func (s *simplex) ratioTest(enter int, dir float64) (leaveRow int, bound varStatus, step float64, ok bool) {
+// ratioTest determines how far the entering variable can move along its
+// tableau column alpha = B⁻¹·A_enter. It returns the blocking basic row (or
+// −1 for a bound flip of the entering variable itself), which bound the
+// leaving variable hits (atLower or atUpper), the step length, and ok=false
+// when the problem is unbounded in that direction.
+func (s *simplex) ratioTest(enter int, dir float64, alpha []float64) (leaveRow int, bound varStatus, step float64, ok bool) {
 	const pivTol = 1e-9
 	step = math.Inf(1)
 	leaveRow = -1
@@ -231,7 +222,7 @@ func (s *simplex) ratioTest(enter int, dir float64) (leaveRow int, bound varStat
 	}
 
 	for i := 0; i < s.m; i++ {
-		a := s.tableau[i][enter]
+		a := alpha[i]
 		if math.Abs(a) < pivTol {
 			continue
 		}
@@ -270,7 +261,7 @@ func (s *simplex) ratioTest(enter int, dir float64) (leaveRow int, bound varStat
 					leaveRow = i
 					bound = hit
 				}
-			} else if math.Abs(a) > math.Abs(s.tableau[leaveRow][enter]) {
+			} else if math.Abs(a) > math.Abs(alpha[leaveRow]) {
 				// Tie-break on the larger pivot element for numerical
 				// stability.
 				leaveRow = i
@@ -288,12 +279,11 @@ func (s *simplex) ratioTest(enter int, dir float64) (leaveRow int, bound varStat
 }
 
 // applyBoundFlip moves a nonbasic variable from one finite bound to the other
-// and updates the basic values accordingly.
-func (s *simplex) applyBoundFlip(enter int, dir, step float64) {
+// and updates the basic values along its tableau column alpha.
+func (s *simplex) applyBoundFlip(enter int, dir, step float64, alpha []float64) {
 	if step != 0 {
 		for i := 0; i < s.m; i++ {
-			a := s.tableau[i][enter]
-			if a != 0 {
+			if a := alpha[i]; a != 0 {
 				s.beta[i] -= dir * step * a
 			}
 		}
@@ -307,8 +297,14 @@ func (s *simplex) applyBoundFlip(enter int, dir, step float64) {
 
 // pivot performs a basis exchange: the entering column becomes basic in
 // leaveRow, the previous basic variable of that row leaves at the given
-// bound, and the tableau plus reduced costs are updated by row elimination.
-func (s *simplex) pivot(enter int, dir float64, leaveRow int, bound varStatus, step float64) {
+// bound. alpha is the entering tableau column under the pre-pivot basis (the
+// one the ratio test ran on). The driver updates the basic values, the
+// reduced-cost row (one rank-one update from the pivot row) and the pricing
+// weights itself; the core then installs the exchange — a full elimination on
+// the dense core, one appended eta (with a possible refactorization) on the
+// sparse core. A core-side rebuild replaces beta and the row assignment, so
+// the reduced costs are recomputed from scratch when it happens.
+func (s *simplex) pivot(enter int, dir float64, leaveRow int, bound varStatus, step float64, alpha []float64) {
 	leaving := s.basis[leaveRow]
 
 	// New value of the entering variable.
@@ -319,34 +315,31 @@ func (s *simplex) pivot(enter int, dir float64, leaveRow int, bound varStatus, s
 		if i == leaveRow {
 			continue
 		}
-		a := s.tableau[i][enter]
-		if a != 0 {
+		if a := alpha[i]; a != 0 {
 			s.beta[i] -= dir * step * a
 		}
 	}
 
-	// Eliminate the entering column from all rows except the pivot row.
-	piv := s.tableau[leaveRow][enter]
-	prow := s.tableau[leaveRow]
-	inv := 1 / piv
+	// Pivot row under the pre-pivot basis, normalized by the pivot element.
+	prow := s.prowBuf
+	s.core.pivotRow(leaveRow, prow)
+	inv := 1 / prow[enter]
 	for j := 0; j < s.n; j++ {
 		prow[j] *= inv
 	}
-	for i := 0; i < s.m; i++ {
-		if i == leaveRow {
-			continue
-		}
-		factor := s.tableau[i][enter]
-		if factor == 0 {
-			continue
-		}
-		row := s.tableau[i]
-		for j := 0; j < s.n; j++ {
-			row[j] -= factor * prow[j]
-		}
-		row[enter] = 0
+	prow[enter] = 1
+
+	// Pricing-weight recurrences read the pre-pivot basis inverse (steepest
+	// edge does an extra BTRAN through the core), so they run before the
+	// core installs the exchange.
+	switch s.rule {
+	case PivotDevex:
+		s.updateDevexWeights(enter, leaving, prow, inv)
+	case PivotSteepest:
+		s.updateSteepestWeights(enter, leaving, alpha, prow, inv)
 	}
-	// Update reduced costs.
+
+	// Rank-one update of the reduced costs.
 	dEnter := s.reduced[enter]
 	if dEnter != 0 {
 		for j := 0; j < s.n; j++ {
@@ -354,9 +347,6 @@ func (s *simplex) pivot(enter int, dir float64, leaveRow int, bound varStatus, s
 		}
 	}
 	s.reduced[enter] = 0
-	if s.rule == PivotDevex {
-		s.updateDevexWeights(enter, leaving, prow, inv)
-	}
 
 	// Book-keeping: statuses, basis, values.
 	s.basis[leaveRow] = enter
@@ -366,6 +356,11 @@ func (s *simplex) pivot(enter int, dir float64, leaveRow int, bound varStatus, s
 		s.status[leaving] = atFree
 	} else {
 		s.status[leaving] = bound
+	}
+
+	if s.core.applyPivot(enter, leaveRow, alpha) {
+		s.refactorizations++
+		s.computeReducedCosts()
 	}
 }
 

@@ -301,7 +301,7 @@ func TestParsePivotRule(t *testing.T) {
 			t.Errorf("ParsePivotRule(%q) = %v, %v", rule.String(), got, err)
 		}
 	}
-	if _, err := ParsePivotRule("steepest"); err == nil {
+	if _, err := ParsePivotRule("steepest-descent"); err == nil {
 		t.Error("unknown rule accepted")
 	}
 	if r, err := ParsePivotRule(""); err != nil || r != PivotDantzig {

@@ -129,6 +129,10 @@ type LPStats struct {
 	// of nodes whose optimal basis was not exportable, and every node when
 	// DisableWarmLP is set.
 	ColdSolves int
+	// PeakEta is the longest product-form eta chain any node LP carried
+	// between refactorizations of the sparse core (zero on the dense core);
+	// aggregation takes the maximum, not the sum.
+	PeakEta int
 }
 
 // Add accumulates other into s.
@@ -138,6 +142,9 @@ func (s *LPStats) Add(other LPStats) {
 	s.WarmHits += other.WarmHits
 	s.WarmMisses += other.WarmMisses
 	s.ColdSolves += other.ColdSolves
+	if other.PeakEta > s.PeakEta {
+		s.PeakEta = other.PeakEta
+	}
 }
 
 // Solves is the total number of node LPs counted.
@@ -158,6 +165,9 @@ func (s LPStats) WarmHitRate() float64 {
 func (s *LPStats) count(sol *lp.Solution, warmOffered bool) {
 	s.Pivots += sol.Iterations
 	s.Refactorizations += sol.Refactorizations
+	if sol.PeakEta > s.PeakEta {
+		s.PeakEta = sol.PeakEta
+	}
 	switch {
 	case sol.WarmStarted:
 		s.WarmHits++

@@ -90,6 +90,12 @@ type Options struct {
 	// effort counters, so it joins the Fingerprint conservatively rather
 	// than relying on that invariant.
 	PivotRule lp.PivotRule
+	// LPCore selects the simplex basis-inverse engine for every LP solved by
+	// the flow (see lp.Core); the zero value is the sparse revised core.
+	// Like PivotRule it is layout-invariant by the LP layer's vertex
+	// canonicalization, and like PivotRule it joins the Fingerprint
+	// conservatively because it changes the effort counters.
+	LPCore lp.Core
 	// ColdLP disables warm-started LP re-solves inside branch-and-bound:
 	// every node LP solves from scratch instead of reusing its parent's
 	// basis. The layout is identical either way (the determinism contract
@@ -255,6 +261,7 @@ type lpCounters struct {
 	warmHits         atomic.Int64
 	warmMisses       atomic.Int64
 	coldSolves       atomic.Int64
+	peakEta          atomic.Int64 // CAS-max, not a sum
 	seedAccepted     atomic.Int64
 	seedRejected     atomic.Int64
 }
@@ -265,6 +272,14 @@ func (c *lpCounters) add(r *milp.Result) {
 	c.warmHits.Add(int64(r.LP.WarmHits))
 	c.warmMisses.Add(int64(r.LP.WarmMisses))
 	c.coldSolves.Add(int64(r.LP.ColdSolves))
+	if peak := int64(r.LP.PeakEta); peak > 0 {
+		for {
+			cur := c.peakEta.Load()
+			if peak <= cur || c.peakEta.CompareAndSwap(cur, peak) {
+				break
+			}
+		}
+	}
 	c.seedAccepted.Add(int64(r.WarmSeedAccepted))
 	c.seedRejected.Add(int64(r.WarmSeedRejected))
 }
@@ -277,6 +292,7 @@ func (c *lpCounters) snapshot() LPStats {
 			WarmHits:         int(c.warmHits.Load()),
 			WarmMisses:       int(c.warmMisses.Load()),
 			ColdSolves:       int(c.coldSolves.Load()),
+			PeakEta:          int(c.peakEta.Load()),
 		},
 		WarmSeedAccepted: int(c.seedAccepted.Load()),
 		WarmSeedRejected: int(c.seedRejected.Load()),
@@ -291,7 +307,7 @@ func (o Options) milpOptions(timeLimit time.Duration, workers int) milp.SolveOpt
 	return milp.SolveOptions{
 		TimeLimit:     timeLimit,
 		Workers:       workers,
-		LPOptions:     lp.Options{Pivot: o.PivotRule},
+		LPOptions:     lp.Options{Pivot: o.PivotRule, Core: o.LPCore},
 		DisableWarmLP: o.ColdLP,
 	}
 }
@@ -301,19 +317,19 @@ func (o Options) milpOptions(timeLimit time.Duration, workers int) milp.SolveOpt
 // defaults — two Options with equal fingerprints produce byte-identical
 // layouts for the same circuit. Workers and Logf are excluded (the
 // determinism contract makes them output-invariant); the time limits are
-// included because a binding limit changes the result. PivotRule and ColdLP
-// are included conservatively: the LP layer's vertex canonicalization makes
-// them layout-invariant, but the cache never conflates them — they change
-// the reported effort counters, and defence in depth is cheap here.
+// included because a binding limit changes the result. PivotRule, LPCore and
+// ColdLP are included conservatively: the LP layer's vertex canonicalization
+// makes them layout-invariant, but the cache never conflates them — they
+// change the reported effort counters, and defence in depth is cheap here.
 // AcceptPartial is excluded like Workers (see its doc: partial results are
 // never cached, and a completed AcceptPartial run is byte-identical to a
 // normal one). The result cache hashes this string alongside the canonical
 // circuit text.
 func (o Options) Fingerprint() string {
-	return fmt.Sprintf("chain=%d maxchain=%d conf=%d pair=%d striplimit=%s phaselimit=%s stripnodes=%d p1nodes=%d refine=%d rot=%v shard=%d sharditer=%d shardtol=%d pivot=%s coldlp=%v",
+	return fmt.Sprintf("chain=%d maxchain=%d conf=%d pair=%d striplimit=%s phaselimit=%s stripnodes=%d p1nodes=%d refine=%d rot=%v shard=%d sharditer=%d shardtol=%d pivot=%s core=%s coldlp=%v",
 		o.chainPoints(), o.maxChainPoints(), o.confinement(), o.pairRadius(),
 		o.stripTimeLimit(), o.phaseTimeLimit(), o.StripNodeLimit, o.Phase1NodeLimit, o.refineIterations(), o.TryRotations,
-		o.ShardSize, o.shardIterations(), o.shardBoundaryTol(), o.PivotRule, o.ColdLP)
+		o.ShardSize, o.shardIterations(), o.shardBoundaryTol(), o.PivotRule, o.LPCore, o.ColdLP)
 }
 
 // runJobs dispatches independent subproblems to the shared bounded pool:
