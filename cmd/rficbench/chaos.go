@@ -59,6 +59,11 @@ type chaosRecord struct {
 	CacheHit bool   `json:"cache_hit"`
 	Partial  bool   `json:"partial"`
 	Match    bool   `json:"match"`
+	// Cluster-path provenance, set only by the two-node battery (omitted from
+	// single-node JSONL so its byte format is unchanged).
+	Proxied  bool   `json:"proxied,omitempty"`
+	Degraded bool   `json:"degraded,omitempty"`
+	Owner    string `json:"owner,omitempty"`
 }
 
 // chaosResponse is the subset of the server's solve response the battery
@@ -70,6 +75,9 @@ type chaosResponse struct {
 	Partial  bool   `json:"partial"`
 	Layout   string `json:"layout"`
 	Error    string `json:"error"`
+	Proxied  bool   `json:"proxied"`
+	Degraded bool   `json:"degraded"`
+	Owner    string `json:"owner"`
 }
 
 func chaosSolve(ctx context.Context, url, body string) (chaosResponse, int, error) {

@@ -1,0 +1,366 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"rficlayout/internal/cache"
+	"rficlayout/internal/cluster"
+	"rficlayout/internal/faultinject"
+	"rficlayout/internal/netlist"
+	"rficlayout/internal/pilp"
+	"rficlayout/internal/server"
+)
+
+// defaultClusterFaultSpec is the two-node battery's stock schedule: every
+// phase of a peer forward can fail (dial, mid-exchange, body read), plus torn
+// cache writes on either node's persistent tier. Dial fails outright with a
+// budget equal to MaxAttempts, so the first forward operation deterministically
+// exhausts its attempts and exercises the degraded local fallback; the other
+// budgets are finite too, so the run always clears the faults and must return
+// to clean forwarded service.
+const defaultClusterFaultSpec = "cluster.dial=1/3," +
+	"cluster.forward=0.4/2," +
+	"cluster.body=0.4/2," +
+	"cache.dir.torn=0.5/2"
+
+// chaosClusterHealth is the /healthz subset the two-node battery reconciles.
+type chaosClusterHealth struct {
+	Solved   int64 `json:"solved"`
+	Failed   int64 `json:"failed"`
+	Rejected int64 `json:"rejected"`
+	Panics   int64 `json:"panics"`
+	Cache    *struct {
+		Corrupt int64 `json:"corrupt"`
+	} `json:"cache"`
+	Cluster *cluster.StatsSnapshot `json:"cluster"`
+}
+
+func getChaosHealth(url string) (chaosClusterHealth, error) {
+	var h chaosClusterHealth
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	return h, json.NewDecoder(resp.Body).Decode(&h)
+}
+
+// runChaosCluster is the two-node chaos battery: a cross-replica topology of
+// two in-process servers ("a" and "b") on a consistent-hash ring, with every
+// request sent to node a. Requests owned by b exercise the full forwarding
+// path — peer retries with backoff, degraded local fallback once budgets
+// exhaust, the cross-replica audit on proxied results — while injected
+// cluster faults fail forwards and torn writes corrupt either node's
+// persistent tier. The run fails unless both processes survive, every fired
+// fault reconciles exactly against the cluster and cache counters, the audit
+// finds zero mismatches, and every layout is byte-identical to a fault-free
+// single-node baseline (including degraded and post-fault rounds).
+func runChaosCluster(ctx context.Context, faultSpec string, seed int64, rounds int, chaosOut, scheduleOut string) bool {
+	if faultSpec == "" {
+		faultSpec = defaultClusterFaultSpec
+	}
+	plan, err := faultinject.ParsePlan(faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rficbench: -faults:", err)
+		return false
+	}
+
+	solveOpts := pilp.Options{
+		ChainPoints:         3,
+		MaxChainPoints:      3,
+		StripTimeLimit:      2 * time.Second,
+		PhaseTimeLimit:      5 * time.Second,
+		MaxRefineIterations: 1,
+	}
+
+	// Assemble the circuit set: scan the chaos circuit family until both
+	// nodes own two circuits each (ownership hashes stable peer names, so
+	// this selection is deterministic and port-independent). Keys owned by b
+	// exercise the forwarding path from a; keys owned by a pin the local path
+	// under the same fault schedule.
+	const auditEvery = 2
+	ringOnly := cluster.New(cluster.Config{Self: "a", Peers: []cluster.Peer{{Name: "a"}, {Name: "b"}}})
+	var bodies, names, keys []string
+	var owners []string
+	counts := map[string]int{}
+	for i := 0; counts["a"] < 2 || counts["b"] < 2; i++ {
+		if i >= 50 {
+			fmt.Fprintln(os.Stderr, "rficbench: chaos-cluster: circuit family never covered both owners")
+			return false
+		}
+		body := chaosNetlist(i)
+		c, err := netlist.ParseString(body)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rficbench: chaos netlist:", err)
+			return false
+		}
+		key := cache.Key(c, solveOpts)
+		p, _ := ringOnly.Owner(key)
+		if counts[p.Name] >= 2 {
+			continue
+		}
+		counts[p.Name]++
+		bodies = append(bodies, body)
+		names = append(names, c.Name)
+		keys = append(keys, key)
+		owners = append(owners, p.Name)
+	}
+	nB := counts["b"]
+
+	// Fault-free single-node baseline: the oracle every later response —
+	// local, proxied or degraded — must match byte-for-byte.
+	baseline := make([]string, len(bodies))
+	{
+		s := server.New(server.Config{Workers: 2, QueueDepth: 8, SolveOptions: solveOpts})
+		ts := httptest.NewServer(s.Handler())
+		for i, body := range bodies {
+			cr, code, err := chaosSolve(ctx, ts.URL, body)
+			if err != nil || code != http.StatusOK {
+				fmt.Fprintf(os.Stderr, "rficbench: baseline %s: status %d err %v (%s)\n", names[i], code, err, cr.Error)
+				ts.Close()
+				s.Close()
+				return false
+			}
+			baseline[i] = cr.Layout
+		}
+		ts.Close()
+		s.Close()
+	}
+
+	// Two-node topology: listeners first (so both rings see final URLs),
+	// then one server per node with its own persistent Dir tier — Dir only,
+	// so torn writes surface as quarantines instead of hiding behind a
+	// memory tier. The fault registry is process-global: both nodes draw
+	// from the same deterministic schedule, in request order.
+	lns := make(map[string]net.Listener, 2)
+	peers := make([]cluster.Peer, 0, 2)
+	for _, name := range []string{"a", "b"} {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rficbench:", err)
+			return false
+		}
+		lns[name] = ln
+		peers = append(peers, cluster.Peer{Name: name, URL: "http://" + ln.Addr().String()})
+	}
+	reg := faultinject.New(plan, seed)
+	faultinject.Enable(reg)
+	defer faultinject.Disable()
+
+	type node struct {
+		srv *server.Server
+		ts  *httptest.Server
+		url string
+	}
+	nodes := map[string]*node{}
+	for _, name := range []string{"a", "b"} {
+		cacheDir, err := os.MkdirTemp("", "rficbench-chaos-"+name+"-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rficbench:", err)
+			return false
+		}
+		defer os.RemoveAll(cacheDir)
+		dir, err := cache.NewDir(cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rficbench:", err)
+			return false
+		}
+		cl := cluster.New(cluster.Config{
+			Self:           name,
+			Peers:          peers,
+			AttemptTimeout: 30 * time.Second,
+			MaxAttempts:    3,
+			BackoffBase:    time.Millisecond,
+			BackoffMax:     10 * time.Millisecond,
+			AuditEvery:     auditEvery,
+		})
+		s := server.New(server.Config{Workers: 2, QueueDepth: 8, SolveOptions: solveOpts, Cache: dir, Cluster: cl})
+		ts := &httptest.Server{Listener: lns[name], Config: &http.Server{Handler: s.Handler()}}
+		ts.Start()
+		defer s.Close()
+		defer ts.Close()
+		nodes[name] = &node{srv: s, ts: ts, url: ts.URL}
+	}
+
+	var out io.Writer = os.Stdout
+	if chaosOut != "" {
+		f, err := os.Create(chaosOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rficbench: -chaos-out:", err)
+			return false
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+
+	fmt.Printf("chaos-cluster: seed %d, plan %s, %d rounds x %d circuits (%d owned by b)\n",
+		seed, plan.String(), rounds, len(bodies), nB)
+	ok := true
+	var expectAudited, lastRoundDegraded int64
+	for r := 0; r < rounds; r++ {
+		for i, body := range bodies {
+			rec := chaosRecord{Round: r, Circuit: names[i]}
+			for rec.Attempts = 1; rec.Attempts <= 10; rec.Attempts++ {
+				cr, code, err := chaosSolve(ctx, nodes["a"].url, body)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "rficbench: chaos-cluster round %d %s: transport error: %v (node died?)\n", r, names[i], err)
+					return false
+				}
+				if code == http.StatusServiceUnavailable || code == http.StatusInternalServerError {
+					continue
+				}
+				if code != http.StatusOK {
+					fmt.Fprintf(os.Stderr, "rficbench: chaos-cluster round %d %s: unexpected status %d (%s)\n", r, names[i], code, cr.Error)
+					return false
+				}
+				rec.Status = cr.Status
+				rec.CacheHit = cr.CacheHit
+				rec.Partial = cr.Partial
+				rec.Proxied = cr.Proxied
+				rec.Degraded = cr.Degraded
+				rec.Owner = cr.Owner
+				rec.Match = cr.Layout == baseline[i]
+				break
+			}
+			if rec.Status == "" {
+				fmt.Fprintf(os.Stderr, "rficbench: chaos-cluster round %d %s: no success in 10 attempts\n", r, names[i])
+				return false
+			}
+			if !rec.Match {
+				fmt.Fprintf(os.Stderr, "rficbench: chaos-cluster round %d %s: layout diverged from single-node baseline (proxied=%v degraded=%v)\n",
+					r, names[i], rec.Proxied, rec.Degraded)
+				ok = false
+			}
+			// Cross-checks the counters cannot see: a b-owned request must
+			// come back proxied or degraded, an a-owned one must be plain.
+			if owners[i] == "b" && !rec.Proxied && !rec.Degraded {
+				fmt.Fprintf(os.Stderr, "rficbench: chaos-cluster round %d %s: b-owned request served without forwarding\n", r, names[i])
+				ok = false
+			}
+			if owners[i] == "a" && (rec.Proxied || rec.Degraded) {
+				fmt.Fprintf(os.Stderr, "rficbench: chaos-cluster round %d %s: a-owned request took the cluster path\n", r, names[i])
+				ok = false
+			}
+			if rec.Proxied && cluster.AuditSampled(keys[i], auditEvery) {
+				expectAudited++
+			}
+			if rec.Degraded && r == rounds-1 {
+				lastRoundDegraded++
+			}
+			if err := enc.Encode(rec); err != nil {
+				fmt.Fprintln(os.Stderr, "rficbench:", err)
+				return false
+			}
+		}
+	}
+
+	hA, errA := getChaosHealth(nodes["a"].url)
+	hB, errB := getChaosHealth(nodes["b"].url)
+	if errA != nil || errB != nil {
+		fmt.Fprintf(os.Stderr, "rficbench: healthz: %v %v\n", errA, errB)
+		return false
+	}
+	counts2 := reg.Counts()
+	var firedCluster int64
+	for _, point := range []string{faultinject.PointClusterDial, faultinject.PointClusterForward, faultinject.PointClusterBody, faultinject.PointCacheTorn} {
+		c := counts2[point]
+		fmt.Printf("chaos-cluster: %-16s hits %3d fired %2d\n", point, c.Hits, c.Fired)
+		if point != faultinject.PointCacheTorn {
+			firedCluster += c.Fired
+		}
+	}
+	ca := hA.Cluster
+	if ca == nil {
+		fmt.Fprintln(os.Stderr, "rficbench: node a reports no cluster stats")
+		return false
+	}
+
+	// Exact reconciliation. Every failed forward attempt is one fired
+	// cluster fault; an operation's failures are its retries when it finally
+	// succeeds, retries+1 when it degrades — so the fired total must equal
+	// retried + degraded, with no slack in either direction.
+	if ca.AttemptFailures != firedCluster {
+		fmt.Fprintf(os.Stderr, "rficbench: attempt failures %d != fired cluster faults %d\n", ca.AttemptFailures, firedCluster)
+		ok = false
+	}
+	if ca.Retried+ca.Degraded != firedCluster {
+		fmt.Fprintf(os.Stderr, "rficbench: retried %d + degraded %d != fired cluster faults %d\n", ca.Retried, ca.Degraded, firedCluster)
+		ok = false
+	}
+	// Every b-owned request is exactly one forward operation (a never caches
+	// remote-owned keys), so the operations partition into forwarded and
+	// degraded with nothing unaccounted.
+	if ca.Forwarded+ca.Degraded != int64(rounds*nB) {
+		fmt.Fprintf(os.Stderr, "rficbench: forwarded %d + degraded %d != %d forward operations\n", ca.Forwarded, ca.Degraded, rounds*nB)
+		ok = false
+	}
+	// Loop safety at scale: b solved everything a sent it without forwarding
+	// anything back, and nothing on either node was lost to panics or
+	// rejections the schedule never injected.
+	if cb := hB.Cluster; cb == nil || cb.Forwarded != 0 || cb.Degraded != 0 {
+		fmt.Fprintf(os.Stderr, "rficbench: node b cluster stats %+v, want zero forwards\n", hB.Cluster)
+		ok = false
+	}
+	if hA.Panics != 0 || hB.Panics != 0 || hA.Rejected != 0 || hB.Rejected != 0 || hA.Failed != 0 || hB.Failed != 0 {
+		fmt.Fprintf(os.Stderr, "rficbench: unexpected losses: a panics=%d rejected=%d failed=%d, b panics=%d rejected=%d failed=%d\n",
+			hA.Panics, hA.Rejected, hA.Failed, hB.Panics, hB.Rejected, hB.Failed)
+		ok = false
+	}
+	// Torn writes: each fired torn write is read back as a quarantine on
+	// whichever node owns the key (the schedule fires early under its finite
+	// budget, so no torn entry is left unread at the end of the run).
+	var corrupt int64 = -1
+	if hA.Cache != nil && hB.Cache != nil {
+		corrupt = hA.Cache.Corrupt + hB.Cache.Corrupt
+	}
+	if corrupt != counts2[faultinject.PointCacheTorn].Fired {
+		fmt.Fprintf(os.Stderr, "rficbench: quarantined %d != injected torn writes %d\n", corrupt, counts2[faultinject.PointCacheTorn].Fired)
+		ok = false
+	}
+	// The cross-replica audit: sampling is a pure function of the content
+	// key, so the battery knows exactly which proxied results were audited —
+	// and the determinism contract demands zero mismatches.
+	if ca.Audited != expectAudited {
+		fmt.Fprintf(os.Stderr, "rficbench: audited %d != expected %d\n", ca.Audited, expectAudited)
+		ok = false
+	}
+	if ca.AuditMismatch != 0 {
+		fmt.Fprintf(os.Stderr, "rficbench: AUDIT MISMATCH count %d — determinism contract broken across replicas\n", ca.AuditMismatch)
+		ok = false
+	}
+	// Once every budget is exhausted the fleet must be healed: the final
+	// round forwards cleanly, nothing degrades.
+	if lastRoundDegraded != 0 {
+		fmt.Fprintf(os.Stderr, "rficbench: %d degraded solves in the final round; budgets should be exhausted\n", lastRoundDegraded)
+		ok = false
+	}
+	fmt.Printf("chaos-cluster: forwarded %d retried %d degraded %d audited %d mismatch %d corrupt %d\n",
+		ca.Forwarded, ca.Retried, ca.Degraded, ca.Audited, ca.AuditMismatch, corrupt)
+
+	if scheduleOut != "" {
+		f, err := os.Create(scheduleOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rficbench: -fault-schedule-out:", err)
+			return false
+		}
+		werr := reg.WriteSchedule(f)
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			fmt.Fprintf(os.Stderr, "rficbench: writing fault schedule: %v %v\n", werr, cerr)
+			return false
+		}
+	}
+	if ok {
+		fmt.Println("chaos-cluster: OK — both nodes alive, every fault accounted for, zero audit mismatches")
+	}
+	return ok
+}

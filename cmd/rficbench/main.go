@@ -62,6 +62,16 @@
 // Independently of -chaos, -faults arms the injection registry for any other
 // mode (e.g. -table1 under cache faults).
 //
+// With -chaos -chaos-nodes 2 the battery grows into a two-node cluster
+// (internal/cluster): two in-process servers on a consistent-hash ring, every
+// request sent to node a, so remote-owned circuits exercise peer forwarding
+// under injected dial/exchange/body-read failures plus torn cache writes on
+// either node. The run additionally requires exact reconciliation of the
+// forwarded/retried/degraded/audited counters against the fired faults, zero
+// cross-replica audit mismatches, zero forwards from node b (loop safety),
+// and byte-identical layouts to a fault-free single-node baseline — including
+// degraded fallback solves and the clean final round after budgets exhaust.
+//
 // With -stats-out FILE every solved job appends one JSON line (circuit,
 // runtime, branch-and-bound nodes, shard count, simplex counters) to FILE,
 // building the perf-trajectory artifact CI archives run over run —
@@ -152,6 +162,7 @@ func main() {
 	faults := flag.String("faults", "", "fault-injection plan, point=prob[/budget] pairs (see internal/faultinject); -chaos default: "+defaultFaultSpec)
 	faultSeed := flag.Int64("fault-seed", 42, "seed of the deterministic fault schedule")
 	chaosRounds := flag.Int("chaos-rounds", 8, "solve rounds over the chaos circuit set (enough to exhaust every fault budget and verify healing)")
+	chaosNodes := flag.Int("chaos-nodes", 1, "with -chaos: 1 = single-node battery, 2 = two-node cluster battery (peer forwarding faults, degraded fallback, cross-replica audit)")
 	chaosOut := flag.String("chaos-out", "", "write one deterministic JSON line per chaos request to this file (default stdout)")
 	scheduleOut := flag.String("fault-schedule-out", "", "write the fired-fault schedule JSONL to this file after the chaos run")
 	flag.Parse()
@@ -232,7 +243,11 @@ func main() {
 			fail()
 		}
 	}
-	if *chaosMode {
+	if *chaosMode && *chaosNodes >= 2 {
+		if !runChaosCluster(ctx, *faults, *faultSeed, *chaosRounds, *chaosOut, *scheduleOut) {
+			fail()
+		}
+	} else if *chaosMode {
 		if !runChaos(ctx, *faults, *faultSeed, *chaosRounds, *chaosOut, *scheduleOut) {
 			fail()
 		}

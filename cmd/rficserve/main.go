@@ -8,18 +8,29 @@
 // The server is hardened along its failure domains: a panicking solve is
 // isolated to its job (500 + the panics counter on /healthz, the process
 // keeps serving), slow-client damage is bounded by the header/read/idle
-// timeouts, SIGINT and SIGTERM both drain in-flight work before exit, and
-// the persistent cache tier checksums entries and quarantines corruption
+// timeouts, SIGINT and SIGTERM both drain in-flight work before exit (with
+// /readyz flipping to "draining" so load balancers stop routing here first),
+// and the persistent cache tier checksums entries and quarantines corruption
 // instead of serving it. Setting RFIC_FAULTS (point=prob[/budget] pairs, see
 // internal/faultinject) with RFIC_FAULT_SEED arms deterministic fault
 // injection inside the live process — staging chaos drills only; leave it
 // unset in production.
+//
+// With -peers and -self, the process joins a multi-node serving tier
+// (internal/cluster): a consistent-hash ring over the content address routes
+// each solve to its owner node, non-owned requests forward there with bounded
+// retries under a retry budget, an unreachable owner degrades to a local
+// solve, and a deterministic sample of proxied results is re-solved locally
+// and compared byte-for-byte (the cross-replica audit). Every node of the
+// fleet must run the same -peers list and the same solve options, or content
+// keys will not agree across nodes.
 //
 // Usage:
 //
 //	rficserve -addr :8080
 //	rficserve -addr :8080 -workers 4 -queue 128 -cache-dir /var/cache/rfic
 //	rficserve -addr :8080 -pprof-addr 127.0.0.1:6060
+//	rficserve -addr :8080 -self a -peers 'a=http://10.0.0.1:8080,b=http://10.0.0.2:8080'
 //	RFIC_FAULTS='cache.dir.read=0.1/4' RFIC_FAULT_SEED=42 rficserve -addr :8080
 //
 // Quick start:
@@ -29,6 +40,7 @@
 //	curl -s -X POST --data-binary @c.rfic 'localhost:8080/v1/solve?async=1'
 //	curl -s localhost:8080/v1/jobs/<id>
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/readyz
 package main
 
 import (
@@ -45,6 +57,7 @@ import (
 	"time"
 
 	"rficlayout/internal/cache"
+	"rficlayout/internal/cluster"
 	"rficlayout/internal/faultinject"
 	"rficlayout/internal/pilp"
 	"rficlayout/internal/server"
@@ -87,6 +100,12 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout: bound on reading a whole request (netlists are small; slower means a stuck client)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout: reap idle keep-alive connections")
 	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof diagnostics (empty = disabled); bind it to loopback — the profile endpoints are unauthenticated")
+	peers := flag.String("peers", "", "static cluster membership as comma-separated [name=]url entries, this node included (empty = single node)")
+	self := flag.String("self", "", "this node's peer name within -peers (required with -peers)")
+	peerTimeout := flag.Duration("peer-timeout", 30*time.Second, "per-attempt timeout for forwarded solves; must cover the owner's solve time")
+	peerRetries := flag.Int("peer-retries", 3, "max attempts per forwarded solve")
+	peerRetryBudget := flag.Int("peer-retry-budget", 10, "retry budget tokens: fresh forwards earn 1/10 token each, every retry spends one")
+	auditEvery := flag.Int("audit-every", 8, "re-solve 1 of every N proxied results locally and compare bytes (cross-replica audit; negative = disabled)")
 	verbose := flag.Bool("v", false, "log solver progress")
 	flag.Parse()
 
@@ -133,6 +152,36 @@ func main() {
 	if *verbose {
 		cfg.Logf = log.Printf
 	}
+	if *peers != "" {
+		peerList, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rficserve:", err)
+			os.Exit(1)
+		}
+		found := false
+		for _, p := range peerList {
+			if p.Name == *self {
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "rficserve: -self %q does not name a -peers entry\n", *self)
+			os.Exit(1)
+		}
+		cfg.Cluster = cluster.New(cluster.Config{
+			Self:           *self,
+			Peers:          peerList,
+			AttemptTimeout: *peerTimeout,
+			MaxAttempts:    *peerRetries,
+			RetryBudget:    *peerRetryBudget,
+			AuditEvery:     *auditEvery,
+		})
+		names := make([]string, len(peerList))
+		for i, p := range peerList {
+			names[i] = p.Name
+		}
+		log.Printf("rficserve: cluster member %q of %v", *self, names)
+	}
 	srv := server.New(cfg)
 	defer srv.Close()
 
@@ -153,6 +202,9 @@ func main() {
 	defer stop()
 	go func() {
 		<-ctx.Done()
+		// Flip /readyz to draining first so load balancers (and peers) stop
+		// routing new work here, then let in-flight requests finish.
+		srv.StartDraining()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(shutdownCtx)

@@ -8,11 +8,25 @@
 // The solver stack is layered, every layer context-aware and deterministic:
 //
 //	cmd/rficserve                HTTP serving front-end: POST /v1/solve,
-//	                             GET /v1/jobs/{id}, GET /healthz
+//	                             GET /v1/jobs/{id}, GET /healthz, GET /readyz;
+//	                             -peers/-self joins the multi-node tier
 //	cmd/rficgen, cmd/rficbench   CLI front-ends (-parallel, -cache, Ctrl-C
 //	                             cancels)
+//	internal/cluster             multi-node serving tier: consistent-hash ring
+//	                             over the content address routes each solve to
+//	                             its owner node; retrying peer client with
+//	                             per-attempt timeouts, deterministic jittered
+//	                             backoff and a retry budget; degraded local
+//	                             fallback when the owner is unreachable; a
+//	                             deterministic sample of proxied results is
+//	                             re-solved locally and byte-compared (the
+//	                             cross-replica audit)
 //	internal/server              admission queue + worker pool over the
-//	                             engine; per-request deadlines, JSON results
+//	                             engine; per-request deadlines, JSON results;
+//	                             forwards remote-owned requests via the
+//	                             cluster layer (X-Rfic-Forwarded-From marks a
+//	                             peer hop and pins the solve local — one hop,
+//	                             never a forwarding loop)
 //	internal/cache               content-addressed result cache (canonical
 //	                             circuit hash → layout); LRU memory tier +
 //	                             persistent directory tier
@@ -125,8 +139,20 @@
 //     `corrupt` stat on /healthz, and misses so the flow re-solves — the
 //     next Put heals the entry. Transient read errors get a bounded
 //     deterministic retry.
-//   - Bounded intake. SIGINT/SIGTERM drain in-flight solves before exit,
-//     and rficserve bounds slow clients with header/read/idle timeouts.
+//   - Bounded intake. SIGINT/SIGTERM drain in-flight solves before exit
+//     (GET /readyz flips to "draining" first so load balancers and peers
+//     stop routing here), rficserve bounds slow clients with
+//     header/read/idle timeouts, and every 503 carries a Retry-After hint.
+//   - Peer degradation. In the multi-node tier an unreachable owner never
+//     takes requests down with it: after bounded retries under a retry
+//     budget (a token bucket that keeps retry traffic a fraction of fresh
+//     traffic, so a dead peer cannot trigger a retry storm), the node
+//     solves locally — determinism makes the fallback result byte-identical
+//     to the owner's — and counts it in `degraded` on /healthz. Degraded
+//     and remote-owned results stay out of the local cache (cache
+//     affinity), and the cross-replica audit re-solves a deterministic
+//     sample of proxied results locally, alarming on `audit_mismatch` if
+//     any byte ever differs across replicas.
 //
 // All of it is testable because faults are deterministic too:
 // internal/faultinject threads named injection points through the cache
@@ -136,8 +162,11 @@
 // (rficbench -chaos, and TestChaosScheduleSurvival in internal/server) can
 // assert exact accounting: every /healthz counter reconciles against the
 // fired-fault counts, and once budgets exhaust the layouts are
-// byte-identical to a fault-free run. rficserve arms the same registry from
-// RFIC_FAULTS/RFIC_FAULT_SEED for staging drills.
+// byte-identical to a fault-free run. The same registry covers the cluster
+// layer (cluster.dial/cluster.forward/cluster.body), so the two-node battery
+// (rficbench -chaos -chaos-nodes 2) proves the forwarding, degraded-fallback
+// and audit paths under the same exact-accounting standard. rficserve arms
+// the registry from RFIC_FAULTS/RFIC_FAULT_SEED for staging drills.
 //
 // # Serving quick start
 //

@@ -183,13 +183,24 @@ func (d *Dir) read(path string) ([]byte, error) {
 
 // quarantine renames a corrupt entry to <key>.json.corrupt — off the entry
 // namespace (Stats and Get only look at *.json) but preserved for forensics.
-// If the rename fails the file is removed outright; either way the corrupt
-// bytes can never be served.
+// If the rename fails for any reason other than the entry already being gone,
+// the file is removed outright; either way the corrupt bytes can never be
+// served. The corrupt counter increments only for the caller whose rename (or
+// fallback remove) actually transitioned the file: two readers racing on the
+// same corrupt entry both read the bad bytes, but the rename is atomic, so
+// exactly one of them quarantines and counts — the invariant the chaos
+// battery's corrupt == fired(torn) reconciliation rests on.
 func (d *Dir) quarantine(key string) {
-	d.corrupt.Add(1)
 	path := d.file(key)
-	if err := os.Rename(path, path+".corrupt"); err != nil {
-		os.Remove(path)
+	if err := os.Rename(path, path+".corrupt"); err == nil {
+		d.corrupt.Add(1)
+		return
+	} else if os.IsNotExist(err) {
+		// A concurrent reader already quarantined (or a Put replaced) it.
+		return
+	}
+	if os.Remove(path) == nil {
+		d.corrupt.Add(1)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"rficlayout/internal/faultinject"
@@ -229,5 +230,55 @@ func TestTieredStatsSurfaceCorrupt(t *testing.T) {
 	}
 	if st := tiered.Stats(); st.Corrupt != 1 {
 		t.Errorf("tiered corrupt = %d, want 1", st.Corrupt)
+	}
+}
+
+// TestDirConcurrentQuarantine races several readers onto the same corrupt
+// entry: each reads the bad bytes and calls quarantine, but the rename is
+// atomic, so exactly one transition happens — one .corrupt file, one counter
+// increment. Without the transition-gated counting, every racing reader would
+// count, and the chaos battery's corrupt == fired(torn) reconciliation would
+// flake under load.
+func TestDirConcurrentQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(key(1), entry("a", "layout a\nplace M1 1 2 R0\n"))
+	corruptLayout(t, d.file(key(1)))
+
+	const readers = 8
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	hits := make([]bool, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			_, hits[i] = d.Get(key(1))
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i, hit := range hits {
+		if hit {
+			t.Errorf("reader %d served the corrupt entry as a hit", i)
+		}
+	}
+	if got := d.Stats().Corrupt; got != 1 {
+		t.Errorf("corrupt = %d, want exactly 1 for one corrupt entry", got)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.corrupt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Errorf("quarantine files = %v, want exactly one", matches)
+	}
+	if _, err := os.Stat(d.file(key(1))); !os.IsNotExist(err) {
+		t.Errorf("corrupt entry still in the entry namespace: err=%v", err)
 	}
 }

@@ -68,6 +68,15 @@ const (
 	// PointCacheTorn truncates a persistent-cache write mid-entry: the file
 	// commits but holds torn JSON, exercising the checksum/quarantine path.
 	PointCacheTorn = "cache.dir.torn"
+	// PointClusterDial fails a peer-forward attempt before the request is
+	// issued, as if the owner node refused the connection.
+	PointClusterDial = "cluster.dial"
+	// PointClusterForward fails a peer-forward attempt after the request was
+	// issued, as if the connection died mid-exchange.
+	PointClusterForward = "cluster.forward"
+	// PointClusterBody fails reading the owner's response body, as if the
+	// connection was cut after the status line arrived.
+	PointClusterBody = "cluster.body"
 )
 
 // ErrInjected is the target every injected I/O error matches via errors.Is.

@@ -26,6 +26,16 @@ type job struct {
 	circuit *netlist.Circuit
 	key     string
 	opts    pilp.Options
+	// body is the raw netlist text as received, kept so a remote-owned job
+	// can be forwarded byte-for-byte to its owner node.
+	body []byte
+	// noCache marks a remote-owned job: its result must not enter the local
+	// cache (cache affinity — only the owner's tier accumulates the key), and
+	// degraded local solves of it stay uncached for the same reason.
+	noCache bool
+	// degraded marks a remote-owned job that fell back to a local solve after
+	// the forward failed; the response surfaces it.
+	degraded bool
 
 	// ctx bounds the solve; cancel releases its timer and aborts a running
 	// solve (e.g. when a synchronous client disconnects).

@@ -9,7 +9,12 @@
 //
 //	POST /v1/solve        body: circuit text; query: timeout=DUR, async=1
 //	GET  /v1/jobs/{id}    status/result of an admitted job
-//	GET  /healthz         liveness plus queue/worker/cache counters
+//	GET  /healthz         liveness plus queue/worker/cache/cluster counters
+//	GET  /readyz          routing readiness: ready / draining / not_ready
+//
+// With a cluster configured (internal/cluster), solves whose content address
+// is owned by a remote peer are forwarded there and answered from the owner's
+// cache-affine tier; an unreachable owner degrades to a local solve.
 package server
 
 import (
@@ -19,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"runtime"
 	"strings"
 	"sync"
@@ -26,6 +32,7 @@ import (
 	"time"
 
 	"rficlayout/internal/cache"
+	"rficlayout/internal/cluster"
 	"rficlayout/internal/engine"
 	"rficlayout/internal/faultinject"
 	"rficlayout/internal/geom"
@@ -60,6 +67,17 @@ type Config struct {
 	// Logf, when non-nil, receives server and solver progress messages; it
 	// may be called from concurrent workers.
 	Logf func(format string, args ...interface{})
+	// Cluster, when non-nil, joins this server to a multi-node serving tier:
+	// a solve whose content address is owned by a remote peer is forwarded
+	// there (cache affinity — the owner's persistent tier accumulates exactly
+	// its keys), with bounded retries, degraded local fallback when the owner
+	// is unreachable, and a cross-replica audit on a deterministic sample of
+	// proxied results. Nil means single node.
+	Cluster *cluster.Cluster
+	// RetryAfterHint is the Retry-After value sent with every 503 rejection,
+	// telling well-behaved clients (the peer client included) how long to back
+	// off before retrying. Zero means 1s.
+	RetryAfterHint time.Duration
 }
 
 func (c Config) workers() int {
@@ -95,6 +113,13 @@ func (c Config) maxBodyBytes() int64 {
 		return c.MaxBodyBytes
 	}
 	return 1 << 20
+}
+
+func (c Config) retryAfterHint() time.Duration {
+	if c.RetryAfterHint > 0 {
+		return c.RetryAfterHint
+	}
+	return time.Second
 }
 
 func (c Config) logf(format string, args ...interface{}) {
@@ -149,6 +174,15 @@ type Server struct {
 	// an alive server is the panic-isolation layer working as designed.
 	panics atomic.Int64
 
+	// ready flips on once the worker pool is running; draining flips on at
+	// SIGTERM (or Close) and never off. /readyz reports them so load
+	// balancers route around a node that is starting up or handing off —
+	// distinct from /healthz, which answers "is the process alive" and keeps
+	// saying ok throughout a drain so orchestrators don't kill a node that is
+	// cleanly finishing its in-flight work.
+	ready    atomic.Bool
+	draining atomic.Bool
+
 	// Simplex-effort totals across every solve this server ran (cache hits
 	// excluded: they spent no pivots here); exposed on /healthz.
 	lpPivots     atomic.Int64
@@ -177,19 +211,27 @@ func newWithSolver(cfg Config, solve solver) *Server {
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	for i := 0; i < cfg.workers(); i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.ready.Store(true)
 	return s
 }
 
 // Handler returns the HTTP handler serving all endpoints.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// StartDraining flips /readyz to "draining" so load balancers stop routing
+// new work here while in-flight jobs finish. rficserve calls it on SIGTERM
+// before shutting the listener down; Close implies it.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
 // Close stops the worker pool, aborts running solves and fails every job
 // still queued. It is safe to call more than once.
 func (s *Server) Close() {
+	s.StartDraining()
 	s.closeMu.Lock()
 	s.closed = true
 	s.closeMu.Unlock()
@@ -275,8 +317,9 @@ func (s *Server) runJob(j *job) {
 	text := layout.Format(res.Result.Layout)
 	// Partial results are anytime degradation, not the deterministic full
 	// solve — caching one would serve degraded layouts to future full-quality
-	// requests under the same key.
-	if s.cfg.Cache != nil && !res.Partial {
+	// requests under the same key. Remote-owned keys (noCache) also stay out:
+	// the owner's tier is where they belong.
+	if s.cfg.Cache != nil && !res.Partial && !j.noCache {
 		s.cfg.Cache.Put(j.key, cache.Entry{
 			Circuit: j.circuit.Name,
 			Layout:  []byte(text),
@@ -299,12 +342,13 @@ func (s *Server) runJob(j *job) {
 		stats.InterruptedSolves = res.Result.InterruptedSolves
 	}
 	resp := &solveResponse{
-		ID:      j.id,
-		Circuit: j.circuit.Name,
-		Status:  string(statusDone),
-		Partial: res.Partial,
-		Layout:  text,
-		Stats:   stats,
+		ID:       j.id,
+		Circuit:  j.circuit.Name,
+		Status:   string(statusDone),
+		Partial:  res.Partial,
+		Degraded: j.degraded,
+		Layout:   text,
+		Stats:    stats,
 	}
 	s.finishJob(j, resp)
 }
@@ -423,6 +467,14 @@ type solveResponse struct {
 	Layout  string      `json:"layout,omitempty"`
 	Stats   *solveStats `json:"stats,omitempty"`
 	Error   string      `json:"error,omitempty"`
+	// Proxied marks a result answered by the owner node (named by Owner) via
+	// the cluster forwarding path; Degraded marks a remote-owned solve that
+	// fell back to this node after the forward failed. Determinism makes the
+	// three provenances — local, proxied, degraded — byte-identical in Layout;
+	// the flags exist so operators and the chaos battery can tell them apart.
+	Proxied  bool   `json:"proxied,omitempty"`
+	Owner    string `json:"owner,omitempty"`
+	Degraded bool   `json:"degraded,omitempty"`
 
 	// code, when non-zero, is the HTTP status this response must be served
 	// with — admission rejections carry 503 so singleflight followers see
@@ -584,7 +636,21 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := cache.Key(circuit, opts)
-	if s.cfg.Cache != nil {
+
+	// Cluster routing. A request carrying the ownership header was forwarded
+	// here by a peer that resolved this node as the owner: solve locally and
+	// never re-forward, whatever our own ring says — that asymmetry is what
+	// makes forwarding loop-free when peer lists skew during membership
+	// change. Otherwise, resolve the owner; a remote owner means this request
+	// forwards, so the local cache is neither consulted nor (later) written —
+	// cache affinity keeps each key's entries on exactly one node.
+	fromPeer := r.Header.Get(cluster.HeaderForwardedFrom)
+	owner, remote := s.cfg.Cluster.Owner(key)
+	if fromPeer != "" {
+		remote = false
+	}
+
+	if s.cfg.Cache != nil && !remote {
 		if entry, ok := s.cfg.Cache.Get(key); ok {
 			// An entry whose layout text no longer parses (format drift,
 			// torn disk entry) degrades to a miss and is re-solved — the
@@ -632,6 +698,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		circuit: circuit,
 		key:     key,
 		opts:    opts,
+		body:    body,
+		noCache: remote,
 		ctx:     ctx,
 		cancel:  cancel,
 		done:    make(chan struct{}),
@@ -655,7 +723,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if err := s.admit(j); err != nil {
+	// A remote-owned job starts a forward operation instead of entering the
+	// local queue; everything downstream (singleflight joiners, awaitJob, the
+	// job store) treats it like any other leader. Degraded fallbacks re-enter
+	// through admit, so local solve capacity still bounds them.
+	var admitErr error
+	if remote {
+		admitErr = s.startForward(j, owner)
+	} else {
+		admitErr = s.admit(j)
+	}
+	if admitErr != nil {
 		// Followers may have joined this job between joinInflight and the
 		// failed admit: finish it (which also drops it from the inflight
 		// index) so sync followers wake with the rejection instead of
@@ -663,12 +741,19 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// the rejection rather than a permanent 404. Rejections count under
 		// the rejected counter only (admit incremented it), not failed, and
 		// carry 503 so followers answer with the leader's retryable status.
+		// The creator's own waiter slot (attached by joinInflight) is
+		// released here — without this, a rejected job's refcount never
+		// reaches zero, which matters once followers can join remote-owned
+		// leaders whose cancellation is driven by that refcount.
 		s.jobs.add(j)
-		resp := failedResponse(j, err)
+		resp := failedResponse(j, admitErr)
 		resp.code = http.StatusServiceUnavailable
 		s.completeJob(j, resp)
+		if !async {
+			s.releaseWaiter(j)
+		}
 		cancel()
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		s.writeResult(w, resp)
 		return
 	}
 
@@ -677,6 +762,113 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.awaitJob(w, r, j, nil)
+}
+
+// startForward launches the peer-forward goroutine for a remote-owned job.
+// It mirrors admit's close fencing: after Close has flipped closed, no new
+// forward can start, so wg.Wait() cannot race a late wg.Add.
+func (s *Server) startForward(j *job, owner cluster.Peer) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return fmt.Errorf("server shutting down")
+	}
+	s.jobs.add(j)
+	s.wg.Add(1)
+	go s.runForward(j, owner)
+	return nil
+}
+
+// runForward drives one remote-owned job: forward to the owner (the cluster
+// client retries with backoff under the retry budget), audit a deterministic
+// sample of proxied results against a local re-solve, and degrade to a local
+// solve when the owner cannot answer. The job stays "queued" while the
+// forward is in flight so a degraded fallback can re-enter the worker pool
+// through the normal admission path.
+func (s *Server) runForward(j *job, owner cluster.Peer) {
+	defer s.wg.Done()
+	cl := s.cfg.Cluster
+
+	query := url.Values{}
+	if deadline, ok := j.ctx.Deadline(); ok {
+		if remaining := time.Until(deadline); remaining > 0 {
+			query.Set("timeout", remaining.Round(time.Millisecond).String())
+		}
+	}
+	if j.opts.AcceptPartial {
+		query.Set("accept_partial", "1")
+	}
+
+	body, err := cl.Forward(j.ctx, owner, j.key, j.body, query)
+	if err == nil {
+		var resp solveResponse
+		if jerr := json.Unmarshal(body, &resp); jerr == nil && resp.Layout != "" {
+			resp.ID = j.id
+			resp.Proxied = true
+			resp.Owner = owner.Name
+			resp.code = 0
+			if cl.ShouldAudit(j.key) && !resp.Partial {
+				s.auditProxied(j, owner, &resp)
+			}
+			cl.CountForwarded()
+			j.cancel()
+			s.finishJob(j, &resp)
+			return
+		} else {
+			err = fmt.Errorf("owner %s returned an unusable response (%v)", owner.Name, jerr)
+		}
+	}
+	if cerr := j.ctx.Err(); cerr != nil {
+		// The client went away (or the deadline fired) while forwarding:
+		// surface the cancellation, don't burn a local solve on it.
+		j.cancel()
+		s.finishJob(j, failedResponse(j, cerr))
+		return
+	}
+
+	// Degraded mode: the owner is unreachable or over budget, so this node
+	// solves locally. Correctness is untouched — determinism makes the bytes
+	// identical to the owner's — the cost is cache affinity (the result stays
+	// uncached here). Admission still gates the work so a dead peer cannot
+	// bypass the queue bound.
+	cl.CountDegraded()
+	j.degraded = true
+	s.cfg.logf("server: degraded: job %s owner %s unreachable, solving locally: %v", j.id, owner.Name, err)
+	if aerr := s.admit(j); aerr != nil {
+		j.cancel()
+		resp := failedResponse(j, aerr)
+		resp.code = http.StatusServiceUnavailable
+		s.completeJob(j, resp)
+	}
+}
+
+// auditProxied is the cross-replica audit: re-solve the forwarded job locally
+// and compare layouts byte-for-byte. The determinism contract says they must
+// match; a mismatch is a fleet-level alarm (counter + log) and the locally
+// solved bytes win, since this node can vouch for them. The audit runs on the
+// forward goroutine, off the worker pool — it is sampled (AuditEvery), so the
+// extra load is bounded and never queues behind real work.
+func (s *Server) auditProxied(j *job, owner cluster.Peer, resp *solveResponse) {
+	res := s.solve(j.ctx, engine.Job{ID: j.id + "-audit", Circuit: j.circuit, Options: j.opts}, s.cfg.Logf)
+	if res.Err != nil || res.Result == nil || res.Result.Layout == nil || res.Partial {
+		// Inconclusive (cancelled mid-solve, or the local solve failed):
+		// count the audit, alarm nothing — a broken local node must not
+		// accuse a healthy owner.
+		cl := s.cfg.Cluster
+		cl.CountAudit(true)
+		s.cfg.logf("server: audit of job %s inconclusive: %v", j.id, res.Err)
+		return
+	}
+	local := layout.Format(res.Result.Layout)
+	match := local == resp.Layout
+	s.cfg.Cluster.CountAudit(match)
+	if !match {
+		s.cfg.logf("server: AUDIT MISMATCH job %s: owner %s layout differs from local re-solve (%d vs %d bytes) — determinism contract broken",
+			j.id, owner.Name, len(resp.Layout), len(local))
+		resp.Layout = local
+		resp.Proxied = false
+		resp.Owner = ""
+	}
 }
 
 // awaitJob blocks a synchronous request on a job it holds a waiter slot on
@@ -700,23 +892,41 @@ func (s *Server) awaitJob(w http.ResponseWriter, r *http.Request, j *job, limit 
 	}
 	select {
 	case <-j.done:
-		resp := j.snapshot()
-		writeJSON(w, statusCodeFor(resp), resp)
+		s.writeResult(w, j.snapshot())
 	case <-limitDone:
 		// The shared solve may have finished in the same instant; prefer
 		// its result over a spurious timeout.
 		select {
 		case <-j.done:
-			resp := j.snapshot()
-			writeJSON(w, statusCodeFor(resp), resp)
+			s.writeResult(w, j.snapshot())
 		default:
 			writeError(w, http.StatusGatewayTimeout, "request timed out before the shared solve finished: "+limit.Err().Error())
 		}
 	case <-r.Context().Done():
 		writeError(w, http.StatusGatewayTimeout, "request cancelled before the solve finished: "+r.Context().Err().Error())
 	case <-s.base.Done():
-		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		s.writeUnavailable(w, "server shutting down")
 	}
+}
+
+// writeResult serves a finished job's response under its HTTP status. Every
+// 503 leaving the server — direct rejections, follower-visible rejection
+// snapshots, shutdown — carries a Retry-After hint so well-behaved clients
+// (the peer client included) back off instead of hammering a node that just
+// shed load.
+func (s *Server) writeResult(w http.ResponseWriter, resp *solveResponse) {
+	code := statusCodeFor(resp)
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", cluster.RetryAfter(s.cfg.retryAfterHint()))
+	}
+	writeJSON(w, code, resp)
+}
+
+// writeUnavailable is the 503-with-Retry-After error path for rejections that
+// never made a job.
+func (s *Server) writeUnavailable(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", cluster.RetryAfter(s.cfg.retryAfterHint()))
+	writeError(w, http.StatusServiceUnavailable, msg)
 }
 
 // cachedResponse rebuilds a full solve response from a cache entry and its
@@ -808,6 +1018,9 @@ type healthResponse struct {
 	// hit/fired counters (absent when injection is disabled), so a chaos
 	// harness can reconcile every injected fault against the counters above.
 	Faults map[string]faultinject.PointCount `json:"faults,omitempty"`
+	// Cluster reports the node's serving-tier counters (forwarded, retried,
+	// degraded, audit results); absent on a single-node server.
+	Cluster *cluster.StatsSnapshot `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -833,12 +1046,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		LPColdSolves:  s.lpColdSolves.Load(),
 		Panics:        s.panics.Load(),
 		Faults:        faultinject.Active().Counts(),
+		Cluster:       s.cfg.Cluster.Snapshot(),
 	}
 	if sr, ok := s.cfg.Cache.(cache.StatsReader); ok {
 		st := sr.Stats()
 		h.Cache = &st
 	}
 	writeJSON(w, http.StatusOK, h)
+}
+
+// handleReadyz is the routing signal, distinct from /healthz liveness: a
+// draining or not-yet-started node is alive (keep the process) but must not
+// receive new work (stop routing to it).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET /readyz")
+		return
+	}
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case !s.ready.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not_ready"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
